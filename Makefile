@@ -1,0 +1,26 @@
+# Convenience targets (plain pytest works too; see CONTRIBUTING.md).
+
+.PHONY: install test bench bench-report examples all clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-report:
+	rm -f benchmarks/last_report.txt
+	pytest benchmarks/ --benchmark-only -s
+	@echo "--- consolidated report: benchmarks/last_report.txt"
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+
+all: test bench
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

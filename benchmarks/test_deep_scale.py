@@ -1,0 +1,57 @@
+"""Opt-in deep-scale runs (set ``REPRO_DEEP=1`` to enable).
+
+The paper's Figure 2 (bottom) runs 150 MB; the default benches scale to
+12 MB.  These deep variants push the pure-Python pipeline towards the
+paper's scale (tens of MB, several minutes each) for readers who want
+the longer trajectories.  They report; they assert only sanity (the
+level-1 trajectory at zlib semantics is an open question the default
+bench documents).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import payload_token_stats, undetermined_window_series
+from repro.data import fastq_like, gzip_zlib
+from repro.deflate.inflate import inflate
+
+DEEP = os.environ.get("REPRO_DEEP") == "1"
+
+pytestmark = pytest.mark.skipif(
+    not DEEP, reason="deep-scale runs are opt-in: REPRO_DEEP=1"
+)
+
+UNIT = 450
+DNA_LEN = 150
+
+
+def test_fig2_bottom_level1_deep(benchmark, reporter):
+    """30 MB FASTQ-like at level 1: how far does the DNA phase decay?"""
+    text = fastq_like(30_000_000, seed=190517)
+    gz = gzip_zlib(text, 1)
+
+    def run():
+        full = inflate(gz, start_bit=80, max_blocks=2)
+        b2 = full.blocks[1]
+        stats = payload_token_stats(gz, start_bit=80, skip_blocks=1).stats
+        oa = max(200, int(stats.mean_offset))
+        phase0 = b2.out_start
+
+        def dna_phase(positions):
+            return ((positions + phase0) % UNIT) < DNA_LEN
+
+        return undetermined_window_series(gz, b2.start_bit, oa,
+                                          position_filter=dna_phase), oa
+
+    series, oa = benchmark.pedantic(run, rounds=1, iterations=1)
+    fr = series.fractions
+    picks = [int(len(fr) * f) for f in (0.02, 0.1, 0.3, 0.6, 0.9)]
+    lines = [f"o_a = {oa}, windows = {len(fr)}, total {series.total / 1e6:.0f} MB"]
+    for p in picks:
+        lines.append(f"window {p:>6}: DNA undetermined {fr[p]:.3f}")
+    lines.append("paper (gzip, 150 MB): level -1 resolves only after ~25 MB.")
+    reporter("Deep: FASTQ-like level 1 at 30 MB", lines)
+    assert len(fr) > 1000

@@ -1,0 +1,114 @@
+"""Figure 2 (bottom) + Section IV-D: the FASTQ-like string.
+
+Paper protocol: a 150 MB string of repeated [150 random DNA | 300 'x']
+units, compressed at gzip levels -1/-4/default/-9, decompressed from
+block 2 with an undetermined context; undetermined fraction per
+o_a-sized window.
+
+Scaling substitution (DESIGN.md): we run 12 MB instead of 150 MB, and
+count the *DNA phase* of the string.  Under zlib the 'x' spacers form
+unbroken back-reference lineages (each run's first 'x' always has a
+full-length match to the previous run), so the decaying signal of the
+paper's figure lives in the DNA positions.  Findings reproduced:
+
+* levels -4/-6/-9: DNA undetermined fraction collapses quickly —
+  random access feasible;
+* level -1: DNA stays match-encoded vastly longer (the paper sees
+  resolution only after ~25 MB; within our 12 MB the fraction is still
+  high), reproducing the "only after around 25 MB" contrast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import payload_token_stats, undetermined_window_series
+from repro.data import fastq_like, gzip_zlib
+from repro.deflate.inflate import inflate
+
+LEVELS = (1, 4, 6, 9)
+DNA_LEN = 150
+UNIT = 450  # 150 DNA + 300 'x'
+SIZE = 12_000_000
+
+
+@pytest.fixture(scope="module")
+def fastq_like_text():
+    return fastq_like(SIZE, dna_length=DNA_LEN, spacer_length=UNIT - DNA_LEN, seed=190517)
+
+
+def test_fig2_bottom_series(benchmark, fastq_like_text, reporter):
+    text = fastq_like_text
+
+    def run():
+        series = {}
+        meta = {}
+        for level in LEVELS:
+            gz = gzip_zlib(text, level)
+            full = inflate(gz, start_bit=80, max_blocks=2)
+            b2 = full.blocks[1]
+            stats = payload_token_stats(gz, start_bit=80, skip_blocks=1).stats
+            oa = max(200, int(stats.mean_offset))
+            phase0 = b2.out_start  # output position 0 = this text offset
+
+            def dna_phase(positions, _phase0=phase0):
+                return ((positions + _phase0) % UNIT) < DNA_LEN
+
+            ws = undetermined_window_series(
+                gz, b2.start_bit, oa, position_filter=dna_phase
+            )
+            series[level] = ws.fractions
+            meta[level] = (oa, len(gz))
+        return series, meta
+
+    series, meta = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [f"input: {SIZE / 1e6:.0f} MB FASTQ-like (paper: 150 MB; see DESIGN.md)"]
+    picks = (1, 10, 50, 200, 500, 1000, 2000)
+    lines.append("windowidx " + " ".join(f"{i:>7d}" for i in picks))
+    for level in LEVELS:
+        s = series[level]
+        vals = [s[i - 1] if i - 1 < len(s) else float("nan") for i in picks]
+        lines.append(
+            f"gzip -{level}   " + " ".join(f"{v:7.3f}" for v in vals)
+            + f"   (o_a={meta[level][0]})"
+        )
+    reporter("Figure 2 (bottom): DNA undetermined fraction, FASTQ-like", lines)
+    for level in LEVELS:
+        benchmark.extra_info[f"oa_level{level}"] = meta[level][0]
+
+    # --- paper-shape assertions -------------------------------------
+    # Lazy levels: DNA fraction collapses (paper: feasible at any level
+    # >= -4).  Require < 10% in the late stream.
+    for level in (4, 6, 9):
+        s = series[level]
+        tail = s[int(len(s) * 0.8):]
+        assert tail.mean() < 0.10, f"level {level} DNA did not resolve: {tail.mean():.3f}"
+    # Level -1: resolution needs ~25 MB in the paper; at 12 MB the DNA
+    # must still be mostly undetermined, and clearly above every lazy
+    # level — the figure's stark contrast.
+    s1 = series[1]
+    late1 = s1[int(len(s1) * 0.8):].mean()
+    assert late1 > 0.5
+    for level in (4, 6, 9):
+        s = series[level]
+        assert late1 > 5 * max(1e-6, s[int(len(s) * 0.8):].mean())
+
+
+def test_fastq_like_offsets_exceed_dna_offsets(benchmark, fastq_like_text, reporter):
+    """Section IV-D: spacers push DNA match offsets up (>= unit size),
+    the mechanism behind the extra literals."""
+    text = fastq_like_text[:2_000_000]
+
+    def run():
+        gz = gzip_zlib(text, 6)
+        stats = payload_token_stats(gz, start_bit=80, skip_blocks=1).stats
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    reporter(
+        "Section IV-D: FASTQ-like offsets",
+        [f"o_a = {stats.mean_offset:.0f} (unit size {UNIT}; DNA-only file had ~3600)"],
+    )
+    assert stats.mean_offset > 300

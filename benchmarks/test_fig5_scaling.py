@@ -1,0 +1,103 @@
+"""Figure 5: decompression speed vs thread count (2-32), log scale.
+
+Paper protocol: pugz at 2-32 threads vs gzip, libdeflate and ``cat``
+(upper bound); mean +- stdev over files/repetitions.
+
+Modelled through the calibrated testbed simulator (this machine has one
+core; DESIGN.md).  Shapes asserted:
+
+* near-linear scaling up to the core count, flattening after;
+* pugz crosses libdeflate between 4 and 8 threads;
+* everything stays below ``cat``.
+
+A companion measurement runs the *real* pugz at several chunk counts
+to document the single-core behaviour (no speedup expected, exactness
+checked).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.pugz import pugz_decompress
+from repro.data import gzip_zlib, synthetic_fastq
+from repro.perf import PAPER_MODEL, simulate_cat, simulate_sequential, sweep_threads
+
+THREADS = (1, 2, 4, 6, 8, 12, 18, 20, 24, 28, 32)
+
+
+def test_fig5_modelled_sweep(benchmark, reporter):
+    sizes = [3000.0, 5000.0, 7500.0]
+
+    def run():
+        return sweep_threads(PAPER_MODEL, sizes, list(THREADS), reps=3, seed=42)
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    cat = simulate_cat(PAPER_MODEL, 5000).speed_mbps
+    gzip_speed = simulate_sequential(PAPER_MODEL, "gunzip", 5000).speed_mbps
+    libdeflate = simulate_sequential(PAPER_MODEL, "libdeflate", 5000).speed_mbps
+
+    lines = [f"{'threads':>8}{'pugz MB/s':>12}{'stdev':>8}"]
+    for n in THREADS:
+        mean, std = sweep[n]
+        lines.append(f"{n:>8}{mean:>12.0f}{std:>8.1f}")
+    lines += [
+        "",
+        f"baselines: cat {cat:.0f}  gzip {gzip_speed:.0f}  libdeflate {libdeflate:.0f}",
+        "paper figure: pugz reaches ~611 MB/s at 32 threads, crossing",
+        "libdeflate in the 4-8 thread range, all below cat.",
+    ]
+    reporter("Figure 5 (modelled): thread scaling", lines)
+    benchmark.extra_info["sweep"] = {str(k): v for k, v in sweep.items()}
+
+    means = {n: sweep[n][0] for n in THREADS}
+    # Monotone up to 24 cores.
+    up_to_cores = [means[n] for n in THREADS if n <= 24]
+    assert all(a < b for a, b in zip(up_to_cores, up_to_cores[1:]))
+    # Saturation past the core count (jitter makes n=24 the max-of-24
+    # chunks regime, slightly below the smoothed n=32 regime).
+    assert abs(means[32] - means[24]) / means[24] < 0.15
+    # Crossover with libdeflate between 4 and 8 threads.
+    assert means[4] < libdeflate * 1.2
+    assert means[8] > libdeflate
+    # cat dominates; gzip is dominated from 2 threads on.
+    assert all(means[n] < cat for n in THREADS)
+    assert means[2] > gzip_speed
+    # Near-linear early scaling: 2->8 threads gives >= 3x.
+    assert means[8] / means[2] > 3.0
+
+
+def test_fig5_measured_chunk_counts(benchmark, reporter):
+    """Real pugz at increasing chunk counts on this 1-core machine."""
+    text = synthetic_fastq(5000, read_length=150, seed=21, quality_profile="safe")
+    gz = gzip_zlib(text, 6)
+    counts = (1, 2, 4, 8)
+
+    def run():
+        rows = {}
+        for n in counts:
+            t0 = time.perf_counter()
+            out, rep = pugz_decompress(gz, n_chunks=n, executor="serial",
+                                       return_report=True)
+            dt = time.perf_counter() - t0
+            assert out == text
+            rows[n] = (len(gz) / 1e6 / dt, rep.sync_seconds / max(dt, 1e-9))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'chunks':>7}{'MB/s (1 core, serial)':>23}{'sync share':>12}"]
+    for n, (r, sync_frac) in rows.items():
+        lines.append(f"{n:>7}{r:>23.2f}{sync_frac:>12.0%}")
+    lines.append("expected: decreasing with chunk count — each boundary costs a")
+    lines.append("pure-Python bit-probing search that C amortises to ~0.2s;")
+    lines.append("exactness asserted for every run.")
+    reporter("Figure 5 (measured, 1 core)", lines)
+    benchmark.extra_info.update({str(k): v[0] for k, v in rows.items()})
+
+    # The chunked runs slow down due to sync costs, boundedly (a wide
+    # bound: pure-Python probing under possible CPU contention).
+    assert rows[8][0] > rows[1][0] / 60

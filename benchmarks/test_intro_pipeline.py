@@ -1,0 +1,62 @@
+"""Section I: the storage-vs-decompression bottleneck argument.
+
+The paper's motivation: gunzip's ~37 MB/s is 1-2 orders of magnitude
+below device read bandwidth (SATA SSD 500, HDD 100-200, NVMe up to
+3000 MB/s), so decompression throttles every pipeline that reads
+.fastq.gz; pugz moves the bottleneck back to storage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf import (
+    PAPER_MODEL,
+    PRESETS,
+    bottleneck,
+    pipeline_throughput,
+    simulate_pugz,
+    simulate_sequential,
+)
+
+
+def test_intro_bottleneck_table(benchmark, reporter):
+    def run():
+        gunzip = simulate_sequential(PAPER_MODEL, "gunzip", 1000).speed_mbps
+        pugz = simulate_pugz(PAPER_MODEL, 5000, 32).speed_mbps
+        rows = []
+        for key in ("hdd", "sata_ssd", "nvme", "nas"):
+            dev = PRESETS[key]
+            rows.append(
+                (
+                    dev.name,
+                    dev.read_mbps,
+                    pipeline_throughput(dev, gunzip),
+                    bottleneck(dev, gunzip),
+                    pipeline_throughput(dev, pugz),
+                    bottleneck(dev, pugz),
+                )
+            )
+        return gunzip, pugz, rows
+
+    gunzip, pugz, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"{'device':<28}{'read':>7}{'gunzip pipe':>12}{'limit':>15}"
+        f"{'pugz pipe':>10}{'limit':>15}"
+    ]
+    for name, read, g_pipe, g_lim, p_pipe, p_lim in rows:
+        lines.append(
+            f"{name:<28}{read:>7.0f}{g_pipe:>12.0f}{g_lim:>15}{p_pipe:>10.0f}{p_lim:>15}"
+        )
+    lines.append("paper Section I: a 1-2 order-of-magnitude slowdown sits at")
+    lines.append("the head of every pipeline reading compressed FASTQ.")
+    reporter("Section I: storage vs decompression", lines)
+
+    # gunzip is decompression-bound on every device.
+    for _, _, _, g_lim, _, _ in rows:
+        assert g_lim == "decompression"
+    # pugz flips HDD/SATA/NAS to storage-bound.
+    flipped = [p_lim for name, _, _, _, _, p_lim in rows if "NVMe" not in name]
+    assert all(l == "storage" for l in flipped)
+    # NVMe headroom: >= 50x gunzip.
+    assert PRESETS["nvme"].read_mbps / gunzip > 50

@@ -1,0 +1,71 @@
+"""Discussion section: memory-bounded decompression.
+
+The paper: "the current implementation requires the whole decompressed
+file to reside in memory, yet further engineering efforts could lift
+this limitation with little projected impact on performance."
+
+This bench runs the striped implementation across stripe sizes and
+measures (a) the peak in-memory symbol count vs the file size, and
+(b) the throughput cost relative to the all-in-memory run — verifying
+the "little projected impact" claim for the algorithmic part (the
+per-stripe barrier only idles threads at stripe edges).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.pugz import pugz_decompress
+from repro.core.windowed import pugz_decompress_windowed
+from repro.data import gzip_zlib
+
+
+def test_memory_vs_stripe_size(benchmark, fastq_4m, reporter):
+    text = fastq_4m
+    gz = gzip_zlib(text, 6)
+
+    def run():
+        rows = {}
+        t0 = time.perf_counter()
+        out = pugz_decompress(gz, n_chunks=12)
+        full_time = time.perf_counter() - t0
+        assert out == text
+        rows["all-in-memory"] = (len(text), full_time)
+        for stripe in (12, 4, 2, 1):
+            sink_total = [0]
+
+            def sink(b, _t=sink_total):
+                _t[0] += len(b)
+
+            t0 = time.perf_counter()
+            report = pugz_decompress_windowed(
+                gz, sink, n_chunks=12, stripe_chunks=stripe
+            )
+            dt = time.perf_counter() - t0
+            assert sink_total[0] == len(text)
+            rows[f"stripe={stripe}"] = (report.peak_stripe_symbols, dt)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    base_mem, base_time = rows["all-in-memory"]
+    lines = [f"{'mode':<16}{'peak symbols':>14}{'vs file':>9}{'time s':>8}{'vs full':>9}"]
+    for name, (mem, dt) in rows.items():
+        lines.append(
+            f"{name:<16}{mem:>14,}{mem / base_mem:>9.0%}{dt:>8.2f}"
+            f"{dt / base_time:>9.2f}x"
+        )
+    lines.append("")
+    lines.append("paper: striping 'could lift this limitation with little")
+    lines.append("projected impact on performance' — the overhead measured")
+    lines.append("here is sync amortisation, not the striping itself.")
+    reporter("Discussion: memory-bounded decompression", lines)
+
+    # Peak memory drops with stripe size...
+    mems = [rows[f"stripe={s}"][0] for s in (12, 4, 2, 1)]
+    assert mems[-1] <= mems[0]
+    assert rows["stripe=1"][0] < 0.5 * base_mem
+    # ...with bounded throughput cost (generous bound: pure-Python
+    # timing noise on a busy 1-core box).
+    assert rows["stripe=1"][1] < 3.0 * base_time

@@ -1,0 +1,78 @@
+"""Section V-C/V-D: the non-greedy model's quoted quantities, and the
+model-vs-gzip fit on real token streams."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import payload_token_stats, undetermined_window_series
+from repro.data import gzip_zlib, random_dna
+from repro.deflate.inflate import inflate
+from repro.models import (
+    expected_literals,
+    literal_probability,
+    literal_rate,
+    log10_miss_probability,
+    undetermined_series,
+    windows_until_determined,
+)
+
+
+def test_paper_quantities(benchmark, reporter):
+    def run():
+        return {
+            "log10(1-p3)": log10_miss_probability(3),
+            "p_l": literal_probability(),
+            "E_l": expected_literals(),
+            "L1": literal_rate(),
+            "vanish@1%": windows_until_determined(literal_rate(), 0.01),
+        }
+
+    vals = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"log10(1 - p_3)      = {vals['log10(1-p3)']:8.1f}   (paper: <= -225)",
+        f"p_l                 = {vals['p_l']:8.4f}",
+        f"E_l                 = {vals['E_l']:8.1f}   (paper: ~1283)",
+        f"L_1 = E_l / W       = {vals['L1']:8.4f}   (paper: ~4%)",
+        f"windows to <1%      = {vals['vanish@1%']:8d}   (paper figure: ~150)",
+    ]
+    reporter("Section V-C: non-greedy model quantities", lines)
+    benchmark.extra_info.update(vals)
+
+    assert vals["log10(1-p3)"] < -220
+    assert vals["E_l"] == pytest.approx(1283, rel=0.05)
+    assert 0.034 < vals["L1"] < 0.046
+    assert 90 < vals["vanish@1%"] < 160
+
+
+def test_model_fit_on_real_gzip_stream(benchmark, reporter):
+    """Section V-D: overlay (1-L_i) on the measured undetermined decay
+    of zlib-compressed random DNA and quantify the fit."""
+    dna = random_dna(1_000_000, seed=190517)
+    gz = gzip_zlib(dna, 6)
+
+    def run():
+        full = inflate(gz, start_bit=80, max_blocks=2)
+        stats = payload_token_stats(gz, start_bit=80, skip_blocks=1).stats
+        oa = int(stats.mean_offset)
+        series = undetermined_window_series(gz, full.blocks[1].start_bit, oa)
+        return stats, series
+
+    stats, series = benchmark.pedantic(run, rounds=1, iterations=1)
+    measured = series.fractions
+    L1 = literal_rate(mean_match_length=stats.mean_length)
+    model = undetermined_series(len(measured), L1)
+
+    mask = (model > 0.05) & (model < 0.9)
+    log_err = np.abs(np.log(measured[mask] + 1e-4) - np.log(model[mask] + 1e-4))
+    lines = [
+        f"l_a measured = {stats.mean_length:.2f} -> model L1 = {L1:.4f}",
+        f"fit windows: {int(mask.sum())}, median |log err| = {np.median(log_err):.3f}",
+        "paper Fig 2: 'the model fits reasonably well the actual",
+        "behavior of gzip at the default compression level'.",
+    ]
+    reporter("Section V-D: model vs measurement", lines)
+    benchmark.extra_info["median_log_err"] = float(np.median(log_err))
+
+    assert np.median(log_err) < np.log(2.5), "model off by > 2.5x in mid-range"

@@ -1,0 +1,168 @@
+"""Table II: decompression speeds of gunzip / libdeflate / pugz-32t.
+
+Paper protocol: 3 FASTQ files (3-7.5 GB, normal level) preloaded in
+memory, decompressed 3x each; mean compressed-MB/s reported:
+
+    gunzip 37   libdeflate 118   pugz (32 threads) 611
+
+Two reproductions side by side (DESIGN.md):
+
+* **modelled testbed** — the calibrated cost model + schedule
+  simulator predicts the parallel numbers from the two sequential
+  anchors (the headline check: ratios 16.5x and 5.2x);
+* **measured (this machine, pure Python)** — our actual decoders
+  timed on an in-memory synthetic FASTQ; single-core, so the parallel
+  row uses the serial executor and reports algorithmic overheads, not
+  speedup.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.pugz import pugz_decompress
+from repro.data import gzip_zlib, synthetic_fastq
+from repro.deflate.gzipfmt import parse_gzip_header
+from repro.deflate.inflate import inflate
+from repro.perf import PAPER_MODEL, simulate_pugz, simulate_sequential
+
+PAPER = {"gunzip": 37.0, "libdeflate": 118.0, "pugz32": 611.0}
+
+
+@pytest.fixture(scope="module")
+def files():
+    """Three in-memory FASTQ.gz files (the paper used 3 files x 3 reps)."""
+    out = []
+    for seed in (11, 12, 13):
+        text = synthetic_fastq(4000, read_length=150, seed=seed, quality_profile="safe")
+        out.append((text, gzip_zlib(text, 6)))
+    return out
+
+
+def test_table2_modelled(benchmark, reporter):
+    """The calibrated testbed model regenerates Table II."""
+    sizes = [3000.0, 5000.0, 7500.0]  # the paper's 3-7.5 GB in MB
+
+    def run():
+        rng = np.random.default_rng(0)
+        gunzip = np.mean([simulate_sequential(PAPER_MODEL, "gunzip", s).speed_mbps
+                          for s in sizes for _ in range(3)])
+        libdeflate = np.mean([simulate_sequential(PAPER_MODEL, "libdeflate", s).speed_mbps
+                              for s in sizes for _ in range(3)])
+        pugz32 = np.mean([simulate_pugz(PAPER_MODEL, s, 32, rng=rng).speed_mbps
+                          for s in sizes for _ in range(3)])
+        return gunzip, libdeflate, pugz32
+
+    gunzip, libdeflate, pugz32 = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        f"{'method':<22}{'modelled MB/s':>14}{'paper MB/s':>12}",
+        f"{'gunzip':<22}{gunzip:>14.0f}{PAPER['gunzip']:>12.0f}",
+        f"{'libdeflate':<22}{libdeflate:>14.0f}{PAPER['libdeflate']:>12.0f}",
+        f"{'pugz, 32 threads':<22}{pugz32:>14.0f}{PAPER['pugz32']:>12.0f}",
+        "",
+        f"speedup vs gunzip:     {pugz32 / gunzip:5.1f}x  (paper 16.5x)",
+        f"speedup vs libdeflate: {pugz32 / libdeflate:5.1f}x  (paper  5.2x)",
+    ]
+    reporter("Table II (modelled testbed)", lines)
+    benchmark.extra_info.update(
+        {"gunzip": gunzip, "libdeflate": libdeflate, "pugz32": pugz32}
+    )
+
+    assert gunzip == pytest.approx(PAPER["gunzip"], rel=0.02)
+    assert libdeflate == pytest.approx(PAPER["libdeflate"], rel=0.02)
+    assert pugz32 == pytest.approx(PAPER["pugz32"], rel=0.12)
+    assert 14.0 < pugz32 / gunzip < 19.0
+    assert 4.5 < pugz32 / libdeflate < 6.0
+
+
+def test_table2_measured_python(benchmark, files, reporter):
+    """Measured pure-Python decoder speeds on this machine.
+
+    The roles: our token-capturing inflate plays gunzip (it does the
+    bookkeeping gunzip does), the plain inflate plays libdeflate (the
+    fastest sequential path), pugz runs its real two-pass algorithm.
+    """
+
+    def run():
+        rates = {"gunzip": [], "libdeflate": [], "pugz": []}
+        for text, gz in files:
+            mb = len(gz) / 1e6
+            start, *_ = parse_gzip_header(gz)
+
+            t0 = time.perf_counter()
+            out = inflate(gz, start_bit=8 * start, capture_tokens=True)
+            rates["gunzip"].append(mb / (time.perf_counter() - t0))
+            assert out.data == text
+
+            t0 = time.perf_counter()
+            out = inflate(gz, start_bit=8 * start)
+            rates["libdeflate"].append(mb / (time.perf_counter() - t0))
+            assert out.data == text
+
+            t0 = time.perf_counter()
+            res = pugz_decompress(gz, n_chunks=4, executor="serial")
+            rates["pugz"].append(mb / (time.perf_counter() - t0))
+            assert res == text
+        return {k: float(np.mean(v)) for k, v in rates.items()}
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Project the measured stage ratios onto the paper's testbed: an
+    # independent sanity check of the calibrated model (it uses OUR
+    # measured gunzip:libdeflate:pass1 ratios, only anchoring the
+    # absolute libdeflate speed).
+    from repro.perf import CostModel, projected_speedup_report
+
+    text0, gz0 = files[0]
+    measured_model = CostModel.measure_python(gz0, text0)
+    projection = projected_speedup_report(measured_model)
+
+    lines = [
+        f"{'method':<26}{'measured MB/s':>14}",
+        f"{'inflate+tokens (gunzip)':<26}{rates['gunzip']:>14.2f}",
+        f"{'inflate (libdeflate)':<26}{rates['libdeflate']:>14.2f}",
+        f"{'pugz 4 chunks, serial':<26}{rates['pugz']:>14.2f}",
+        "",
+        "single-core machine: pugz serial shows the algorithm's",
+        "overhead vs the plain decoder; speedups are modelled above.",
+        "",
+        "projection of measured stage ratios onto the testbed:",
+        f"  pugz-32t {projection['pugz_mbps']:.0f} MB/s, "
+        f"{projection['speedup_vs_gunzip']:.1f}x vs gunzip, "
+        f"{projection['speedup_vs_libdeflate']:.1f}x vs libdeflate "
+        "(paper: 611 / 16.5x / 5.2x)",
+    ]
+    reporter("Table II (measured, pure Python, 1 core)", lines)
+    benchmark.extra_info.update(rates)
+    benchmark.extra_info["projection"] = projection
+
+    # The projection built purely from OUR measured stage ratios must
+    # land in the paper's ballpark (same parallel structure).
+    assert projection["speedup_vs_gunzip"] > 3.0
+
+    # Plain decode must beat the token-capturing decode; the two-pass
+    # algorithm run serially costs more than one sequential decode but
+    # within a small factor (marker domain + translation).
+    assert rates["libdeflate"] >= rates["gunzip"] * 0.95
+    assert rates["pugz"] > rates["libdeflate"] / 8
+
+
+def test_table2_output_sync_overhead(benchmark, reporter):
+    """Paper footnote: synchronising/piping output costs 10-20 %."""
+
+    def run():
+        base = simulate_pugz(PAPER_MODEL, 5000, 32).speed_mbps
+        synced = simulate_pugz(PAPER_MODEL.with_output_sync(0.15), 5000, 32).speed_mbps
+        return base, synced
+
+    base, synced = benchmark.pedantic(run, rounds=1, iterations=1)
+    loss = 1 - synced / base
+    reporter(
+        "Table II footnote: output synchronisation",
+        [f"/dev/null: {base:.0f} MB/s   synced: {synced:.0f} MB/s   loss {loss:.0%}"],
+    )
+    assert 0.10 < loss < 0.20

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Figure 1 as terminal output.
+
+After a random access into a gzip-compressed FASTQ file, the 32 KiB
+context is unknown ('?'); successive blocks contain fewer and fewer
+undetermined characters as literals accumulate::
+
+    python examples/fig1_undetermined_blocks.py
+"""
+
+from repro.core.marker import MARKER_BASE, to_bytes
+from repro.core.marker_inflate import marker_inflate
+from repro.core.sync import find_block_start
+from repro.data import gzip_zlib, synthetic_fastq
+
+
+def main() -> None:
+    text = synthetic_fastq(
+        12000, read_length=150, seed=103,
+        quality_profile="illumina", barcode="ATCACG",
+    )
+    gz = gzip_zlib(text, level=6)
+
+    offset = len(gz) // 5
+    print(f"random access at compressed byte {offset:,}")
+    sync = find_block_start(gz, start_bit=8 * offset)
+    print(f"block start found at bit {sync.bit_offset} "
+          f"({sync.candidates_tried:,} candidates, {sync.elapsed * 1e3:.0f} ms)\n")
+
+    res = marker_inflate(gz, start_bit=sync.bit_offset)
+    for idx in (0, 1, 10, 50):
+        if idx >= len(res.blocks):
+            break
+        b = res.blocks[idx]
+        segment = res.symbols[b.out_start : b.out_start + 192]
+        whole = res.symbols[b.out_start : b.out_end]
+        frac = float((whole >= MARKER_BASE).mean())
+        print(f"Block {idx}  ({frac:.1%} undetermined)")
+        rendered = to_bytes(segment, placeholder=ord("?")).decode("ascii", "replace")
+        for k in range(0, len(rendered), 64):
+            print("   " + rendered[k : k + 64].replace("\n", "↵"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

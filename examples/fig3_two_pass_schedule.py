@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Render the paper's Figure 3 — the two-pass schedule — as ASCII.
+
+Figure 3 illustrates pugz's structure: a parallel first pass with
+undetermined windows, a (cheap, sequential) resolution step, and a
+parallel translation pass.  This example renders the simulated
+schedule of the calibrated testbed model as a Gantt chart::
+
+    python examples/fig3_two_pass_schedule.py
+"""
+
+from repro.perf import PAPER_MODEL, simulate_pugz
+
+GLYPH = {"sync": "s", "pass1": "#", "resolve": "R", "pass2": "="}
+WIDTH = 68
+
+
+def main() -> None:
+    n_threads = 6
+    result = simulate_pugz(PAPER_MODEL, 1000, n_threads, timeline=True)
+    events = result.events
+    t_max = max(e[3] for e in events)
+
+    print(f"two-pass decompression of a 1 GB gzip file, {n_threads} threads")
+    print(f"(simulated on the paper's testbed model; wall {result.wall_seconds:.1f}s)\n")
+    print("  s = boundary sync   # = pass 1 (marker decode)")
+    print("  R = context resolve = = pass 2 (translate)\n")
+
+    workers = sorted({e[0] for e in events})
+    for w in workers:
+        row = [" "] * WIDTH
+        for worker, stage, t0, t1 in events:
+            if worker != w:
+                continue
+            a = int(t0 / t_max * (WIDTH - 1))
+            b = max(a + 1, int(t1 / t_max * (WIDTH - 1)))
+            for i in range(a, min(b, WIDTH)):
+                row[i] = GLYPH[stage]
+        print(f"thread {w}: |{''.join(row)}|")
+    print(f"\n0{'':>{WIDTH - 6}}{t_max:.1f}s")
+    print(
+        f"\nstage totals: sync {result.sync_seconds:.2f}s, "
+        f"pass1 {result.pass1_seconds:.2f}s, "
+        f"resolve {result.resolve_seconds * 1e3:.1f}ms, "
+        f"pass2 {result.pass2_seconds:.2f}s"
+    )
+    print("the paper's point: resolution is negligible, translation is")
+    print("cheap, so the parallel pass-1 decode dominates end to end.")
+
+
+if __name__ == "__main__":
+    main()

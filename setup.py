@@ -1,0 +1,10 @@
+"""Legacy-path shim so ``pip install -e .`` works offline (no wheel pkg).
+
+All metadata lives in pyproject.toml; setuptools >= 61 reads it from
+there.  This file only exists to enable the non-PEP-660 editable
+install route.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""Analyses behind the paper's figures: window counts, origins, stats."""
+
+from repro.analysis.blockstats import BlockStats, stream_block_stats
+from repro.analysis.origins import OriginSeries, context_types_for_offset, origin_counts_by_type
+from repro.analysis.stats import (
+    StreamStats,
+    literal_positions,
+    literal_rate_by_window,
+    offset_histogram,
+    payload_token_stats,
+    tokens_of_zlib,
+)
+from repro.analysis.windows import (
+    UndeterminedWindowCounter,
+    WindowSeries,
+    undetermined_window_series,
+)
+
+__all__ = [
+    "tokens_of_zlib",
+    "payload_token_stats",
+    "offset_histogram",
+    "literal_positions",
+    "literal_rate_by_window",
+    "StreamStats",
+    "undetermined_window_series",
+    "UndeterminedWindowCounter",
+    "WindowSeries",
+    "origin_counts_by_type",
+    "context_types_for_offset",
+    "OriginSeries",
+    "stream_block_stats",
+    "BlockStats",
+]

@@ -1,0 +1,56 @@
+"""Per-block structural statistics of DEFLATE streams.
+
+Feeds the probe-bounds validation: the Appendix X-A checks reject
+candidate blocks whose decompressed size falls outside [1 KiB, 4 MiB].
+This module measures the actual block-size distribution gzip produces
+(driven by its 16K-token buffer), confirming those bounds are safe for
+real streams, plus per-block token mixes and compression ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.deflate.inflate import inflate
+
+__all__ = ["BlockStats", "stream_block_stats"]
+
+
+@dataclass
+class BlockStats:
+    """Columnar per-block measurements of one DEFLATE stream."""
+
+    #: Decompressed size of each block.
+    out_sizes: np.ndarray
+    #: Compressed size (bits) of each block.
+    bit_sizes: np.ndarray
+    #: Block type codes (0 stored / 1 fixed / 2 dynamic).
+    btypes: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return len(self.out_sizes)
+
+    @property
+    def ratios(self) -> np.ndarray:
+        """Per-block compressed/uncompressed ratios."""
+        return (self.bit_sizes / 8.0) / np.maximum(self.out_sizes, 1)
+
+    def within_probe_bounds(self, lo: int = 1024, hi: int = 4 * 1024 * 1024) -> float:
+        """Fraction of non-final blocks inside the probe size bounds."""
+        if self.count <= 1:
+            return 1.0
+        interior = self.out_sizes[:-1]  # the probe never sees the final block
+        ok = (interior >= lo) & (interior <= hi)
+        return float(ok.mean())
+
+
+def stream_block_stats(payload, start_bit: int = 0) -> BlockStats:
+    """Decode a payload and collect its per-block statistics."""
+    result = inflate(payload, start_bit=start_bit)
+    out_sizes = np.array([b.out_end - b.out_start for b in result.blocks], dtype=np.int64)
+    bit_sizes = np.array([b.end_bit - b.start_bit for b in result.blocks], dtype=np.int64)
+    btypes = np.array([b.btype for b in result.blocks], dtype=np.int8)
+    return BlockStats(out_sizes=out_sizes, bit_sizes=bit_sizes, btypes=btypes)

@@ -1,0 +1,104 @@
+"""Initial-context propagation by character type (Figure 4).
+
+The paper instruments decompression-from-a-random-location to see *how
+far characters of the initial 32 KiB context travel* along chains of
+back-references, and annotates each surviving character by what it
+actually was: DNA, quality value, sequence header, or the '+' quality
+header.
+
+The marker alphabet gives us this for free: after a marker-domain
+decode, every surviving marker ``U_j`` names initial-context position
+``j``; classifying position ``j`` in the *true* stream (which we have,
+since we generated the file) yields the per-type counts per output
+window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.marker import MARKER_BASE
+from repro.data.fastq import CHAR_TYPES, classify_fastq_bytes
+
+__all__ = ["OriginSeries", "origin_counts_by_type", "context_types_for_offset"]
+
+#: Row order of the per-type matrix.
+TYPE_ORDER = ("header", "dna", "plus", "quality", "newline")
+
+
+@dataclass
+class OriginSeries:
+    """Per-window counts of surviving initial-context characters."""
+
+    #: shape (n_windows, len(TYPE_ORDER)) counts.
+    counts: np.ndarray
+    window_size: int
+    #: Output position (relative to the decode start) of each window start.
+    window_starts: np.ndarray
+
+    def totals_by_type(self) -> dict[str, int]:
+        return {
+            name: int(self.counts[:, i].sum()) for i, name in enumerate(TYPE_ORDER)
+        }
+
+    def last_window_with_type(self, name: str) -> int | None:
+        """Index of the last window still containing this type, if any."""
+        col = self.counts[:, TYPE_ORDER.index(name)]
+        nz = np.flatnonzero(col > 0)
+        return int(nz[-1]) if len(nz) else None
+
+
+def context_types_for_offset(text: bytes, output_offset: int) -> np.ndarray:
+    """Character types of the 32 KiB of true text before ``output_offset``.
+
+    ``text`` is the full uncompressed file; the decode starts at
+    uncompressed position ``output_offset``, so its initial context is
+    ``text[output_offset - 32768 : output_offset]``.  Position ``j`` of
+    the returned array aligns with marker ``U_j``.
+    """
+    if output_offset < 32768:
+        raise ValueError("need at least 32 KiB of preceding text")
+    types = classify_fastq_bytes(text[: output_offset])
+    return types[output_offset - 32768 : output_offset]
+
+
+def origin_counts_by_type(
+    symbols: np.ndarray,
+    context_types: np.ndarray,
+    window_size: int = 32768,
+) -> OriginSeries:
+    """Count surviving initial-context characters per window and type.
+
+    Parameters
+    ----------
+    symbols:
+        Marker-domain output of a decode seeded with the undetermined
+        context.
+    context_types:
+        Per-position type codes of the true initial context (length
+        32768, from :func:`context_types_for_offset`).
+    window_size:
+        Paper uses 32 KiB windows.
+    """
+    symbols = np.asarray(symbols, dtype=np.int32)
+    context_types = np.asarray(context_types, dtype=np.uint8)
+    if context_types.shape != (32768,):
+        raise ValueError("context_types must have exactly 32768 entries")
+
+    n_windows = max(1, -(-len(symbols) // window_size))
+    counts = np.zeros((n_windows, len(TYPE_ORDER)), dtype=np.int64)
+
+    marker_idx = np.flatnonzero(symbols >= MARKER_BASE)
+    if len(marker_idx):
+        origin_pos = symbols[marker_idx] - MARKER_BASE
+        types = context_types[origin_pos]
+        windows = marker_idx // window_size
+        np.add.at(counts, (windows, types), 1)
+
+    return OriginSeries(
+        counts=counts,
+        window_size=window_size,
+        window_starts=np.arange(n_windows, dtype=np.int64) * window_size,
+    )

@@ -1,0 +1,101 @@
+"""Token statistics of gzip streams (the Section IV-C quantities).
+
+Computes the paper's ``o_a`` (mean match offset) and ``l_a`` (mean
+match length) by decoding a DEFLATE payload with token capture, plus
+offset/length histograms and literal-rate curves over the stream.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.deflate.inflate import inflate
+from repro.deflate.tokens import TokenStats, TokenStream
+
+__all__ = [
+    "tokens_of_zlib",
+    "payload_token_stats",
+    "offset_histogram",
+    "literal_positions",
+    "literal_rate_by_window",
+    "StreamStats",
+]
+
+
+@dataclass
+class StreamStats:
+    """Token statistics plus where in the output literals fall."""
+
+    stats: TokenStats
+    tokens: TokenStream
+
+
+def tokens_of_zlib(data: bytes, level: int) -> TokenStream:
+    """Token stream gzip (the system zlib) produces for ``data``.
+
+    Compresses with zlib at ``level`` and decodes our own way with
+    token capture — the authentic gzip parsing the paper analyses.
+    """
+    comp = zlib.compress(data, level)
+    result = inflate(comp, start_bit=16, capture_tokens=True)
+    return result.tokens
+
+
+def payload_token_stats(payload, start_bit: int = 0, skip_blocks: int = 0) -> StreamStats:
+    """Decode a DEFLATE payload and return its token statistics.
+
+    ``skip_blocks`` drops the first blocks from the statistics (the
+    paper starts measuring from block 2, past the warm-up region where
+    the window is not yet full).
+    """
+    result = inflate(payload, start_bit=start_bit, capture_tokens=True)
+    tokens = result.tokens
+    if skip_blocks and len(result.blocks) > skip_blocks:
+        # Rebuild a token stream for the tail by re-decoding from the
+        # block boundary with the accumulated window.
+        boundary = result.blocks[skip_blocks]
+        window = result.data[: boundary.out_start][-32768:]
+        tail = inflate(
+            payload,
+            start_bit=boundary.start_bit,
+            window=window,
+            capture_tokens=True,
+        )
+        tokens = tail.tokens
+    return StreamStats(stats=tokens.stats(), tokens=tokens)
+
+
+def offset_histogram(tokens: TokenStream, bins: int = 32, max_offset: int = 32768) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of match offsets: ``(counts, bin_edges)``."""
+    offsets = tokens.offsets()
+    offsets = offsets[offsets > 0]
+    return np.histogram(offsets, bins=bins, range=(1, max_offset))
+
+
+def literal_positions(tokens: TokenStream) -> np.ndarray:
+    """Output positions at which literal bytes were emitted."""
+    offsets = tokens.offsets()
+    values = tokens.values()
+    lengths = np.where(offsets == 0, 1, values).astype(np.int64)
+    starts = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+    return starts[offsets == 0]
+
+
+def literal_rate_by_window(tokens: TokenStream, window: int = 32768) -> np.ndarray:
+    """Fraction of literal bytes in consecutive output windows."""
+    offsets = tokens.offsets()
+    values = tokens.values()
+    lengths = np.where(offsets == 0, 1, values).astype(np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0)
+    starts = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+    lit_starts = starts[offsets == 0]
+    n_windows = -(-total // window)
+    counts = np.bincount(lit_starts // window, minlength=n_windows)
+    sizes = np.full(n_windows, window, dtype=np.int64)
+    sizes[-1] = total - window * (n_windows - 1)
+    return counts / sizes

@@ -1,0 +1,28 @@
+"""BGZF blocked-gzip format (paper related work, ref [12])."""
+
+from repro.bgzf.format import (
+    BGZF_EOF,
+    MAX_BLOCK_INPUT,
+    BgzfBlock,
+    bgzf_compress,
+    bgzf_decompress,
+    make_virtual_offset,
+    read_block,
+    scan_blocks,
+    split_virtual_offset,
+)
+from repro.bgzf.reader import BgzfReader, bgzf_decompress_parallel
+
+__all__ = [
+    "bgzf_compress",
+    "bgzf_decompress",
+    "bgzf_decompress_parallel",
+    "BgzfReader",
+    "BgzfBlock",
+    "scan_blocks",
+    "read_block",
+    "make_virtual_offset",
+    "split_virtual_offset",
+    "BGZF_EOF",
+    "MAX_BLOCK_INPUT",
+]

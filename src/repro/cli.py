@@ -1,0 +1,361 @@
+"""Command-line interface: ``python -m repro`` / ``repro-gzip``.
+
+Subcommands mirror the tools the paper discusses:
+
+* ``compress``   — gzip-compress a file with our own DEFLATE (levels 0-9);
+* ``decompress`` — sequential decompression with our own inflate;
+* ``pugz``       — exact two-pass parallel decompression;
+* ``sync``       — find the first DEFLATE block start after an offset;
+* ``random-access`` — extract DNA sequences from a compressed FASTQ
+  starting at an arbitrary compressed offset;
+* ``info``       — member/block structure of a gzip file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro._version import __version__
+
+
+def _cmd_compress(args) -> int:
+    from repro.deflate import gzip_compress
+
+    data = _read(args.input)
+    t0 = time.perf_counter()
+    out = gzip_compress(data, level=args.level)
+    dt = time.perf_counter() - t0
+    _write(args.output or (args.input + ".gz" if args.input != "-" else "-"), out)
+    print(
+        f"compressed {len(data)} -> {len(out)} bytes "
+        f"({len(out) / max(1, len(data)):.1%}) in {dt:.2f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    from repro.deflate import gzip_unwrap
+
+    data = _read(args.input)
+    t0 = time.perf_counter()
+    out = gzip_unwrap(data, verify=not args.no_verify)
+    dt = time.perf_counter() - t0
+    _write(args.output or "-", out)
+    print(
+        f"decompressed {len(data)} -> {len(out)} bytes "
+        f"({len(data) / max(dt, 1e-9) / 1e6:.2f} MB/s compressed)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_pugz(args) -> int:
+    from repro.core import pugz_decompress
+
+    data = _read(args.input)
+    t0 = time.perf_counter()
+    out, report = pugz_decompress(
+        data,
+        n_chunks=args.threads,
+        executor=args.executor,
+        verify=args.verify,
+        return_report=True,
+    )
+    dt = time.perf_counter() - t0
+    _write(args.output or "-", out)
+    print(
+        f"pugz: {len(data)} -> {len(out)} bytes, {len(report.chunks)} chunks, "
+        f"{dt:.2f}s (sync {report.sync_seconds:.2f} / pass1 {report.pass1_seconds:.2f} "
+        f"/ resolve {report.resolve_seconds:.3f} / pass2 {report.pass2_seconds:.2f})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_sync(args) -> int:
+    from repro.core import find_block_start
+
+    data = _read(args.input)
+    sync = find_block_start(data, start_bit=8 * args.offset)
+    print(
+        f"block start at bit {sync.bit_offset} "
+        f"(byte {sync.bit_offset // 8} + {sync.bit_offset % 8} bits); "
+        f"{sync.candidates_tried} candidates in {sync.elapsed * 1e3:.0f} ms"
+    )
+    return 0
+
+
+def _cmd_random_access(args) -> int:
+    from repro.core import random_access_sequences
+
+    data = _read(args.input)
+    report = random_access_sequences(
+        data,
+        args.offset,
+        min_read_length=args.min_read_length,
+        max_output=args.max_output,
+    )
+    print(f"synced at bit {report.sync_bit} ({report.sync_candidates} candidates)")
+    print(f"decompressed {report.decompressed} bytes")
+    if report.first_resolved_block is None:
+        print("no sequence-resolved block found")
+        return 1
+    print(f"first sequence-resolved block after {report.delay_bytes} bytes")
+    frac = report.unambiguous_fraction
+    print(
+        f"{len(report.sequences)} sequences, "
+        f"{frac:.1%} unambiguous" if frac is not None else "no sequences"
+    )
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    from repro.core.windowed import WindowedReport, iter_pugz
+
+    data = _read(args.input)
+    report = WindowedReport()
+    t0 = time.perf_counter()
+    out = sys.stdout.buffer if not args.output else open(args.output, "wb")
+    try:
+        for piece in iter_pugz(
+            data,
+            n_chunks=args.chunks,
+            stripe_chunks=args.stripe,
+            executor=args.executor,
+            report=report,
+        ):
+            out.write(piece)
+    finally:
+        if args.output:
+            out.close()
+    print(
+        f"stream: {report.output_size} bytes in {report.stripes} stripes "
+        f"(peak {report.peak_stripe_symbols} symbols in memory, "
+        f"{time.perf_counter() - t0:.2f}s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_pigz(args) -> int:
+    from repro.core.pigz import pigz_compress
+
+    data = _read(args.input)
+    t0 = time.perf_counter()
+    out = pigz_compress(
+        data,
+        level=args.level,
+        chunk_size=args.chunk_size,
+        executor=args.executor,
+        n_workers=args.threads,
+    )
+    dt = time.perf_counter() - t0
+    _write(args.output or (args.input + ".gz" if args.input != "-" else "-"), out)
+    print(
+        f"pigz: {len(data)} -> {len(out)} bytes "
+        f"({len(out) / max(1, len(data)):.1%}) in {dt:.2f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    from repro.core.recovery import recover
+
+    data = _read(args.input)
+    report = recover(data, guess=args.guess)
+    print(f"clean head: {len(report.head)} bytes", file=sys.stderr)
+    if report.resync_bit is None:
+        print("no resync point found after the damage", file=sys.stderr)
+        if args.output:
+            _write(args.output, report.head)
+        return 1
+    print(
+        f"resynced at bit {report.resync_bit}; tail has "
+        f"{report.tail_undetermined} undetermined chars; "
+        f"{len(report.sequences)} unambiguous sequences salvaged",
+        file=sys.stderr,
+    )
+    if args.output:
+        _write(args.output, report.head + b"\n" + (report.tail_bytes_best_effort or b""))
+    return 0
+
+
+def _cmd_index(args) -> int:
+    from repro.index import GzipIndex, build_index
+
+    data = _read(args.input)
+    if args.extract is not None:
+        with open(args.index_file, "rb") as fh:
+            idx = GzipIndex.from_bytes(fh.read())
+        out = idx.read_at(data, args.extract, args.size)
+        _write(args.output or "-", out)
+        return 0
+    t0 = time.perf_counter()
+    idx = build_index(data, span=args.span)
+    blob = idx.to_bytes()
+    with open(args.index_file, "wb") as fh:
+        fh.write(blob)
+    print(
+        f"index: {len(idx.checkpoints)} checkpoints, {len(blob)} bytes, "
+        f"built in {time.perf_counter() - t0:.1f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_bgzf(args) -> int:
+    from repro.bgzf import BgzfReader, bgzf_compress, bgzf_decompress
+
+    data = _read(args.input)
+    if args.mode == "compress":
+        _write(args.output or "-", bgzf_compress(data, level=args.level))
+    elif args.mode == "decompress":
+        _write(args.output or "-", bgzf_decompress(data))
+    else:  # extract
+        reader = BgzfReader(data)
+        _write(args.output or "-", reader.read_at(args.offset, args.size))
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.deflate import split_members
+    from repro.deflate.inflate import inflate
+
+    data = _read(args.input)
+    members = split_members(data)
+    print(f"{len(members)} member(s)")
+    for i, m in enumerate(members):
+        print(
+            f"  member {i}: header@{m.header_start} payload@{m.payload_start}"
+            f"..{m.payload_end} isize={m.isize} crc={m.crc:#010x}"
+            + (f" name={m.filename!r}" if m.filename else "")
+        )
+        if args.blocks:
+            result = inflate(data, start_bit=m.payload_start_bit)
+            kinds = {0: "stored", 1: "fixed", 2: "dynamic"}
+            for b in result.blocks:
+                print(
+                    f"    block @bit {b.start_bit}: {kinds[b.btype]}, "
+                    f"{b.out_end - b.out_start} bytes"
+                    + (" (final)" if b.bfinal else "")
+                )
+    return 0
+
+
+def _read(path: str) -> bytes:
+    if path == "-":
+        return sys.stdin.buffer.read()
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def _write(path: str, data: bytes) -> None:
+    if path == "-":
+        sys.stdout.buffer.write(data)
+    else:
+        with open(path, "wb") as fh:
+            fh.write(data)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-gzip",
+        description="Parallel gzip decompression & random access (IPPS 2019 reproduction)",
+    )
+    p.add_argument("--version", action="version", version=__version__)
+    sub = p.add_subparsers(dest="command", required=True)
+
+    c = sub.add_parser("compress", help="gzip-compress with our DEFLATE")
+    c.add_argument("input")
+    c.add_argument("-o", "--output")
+    c.add_argument("-l", "--level", type=int, default=6, choices=range(0, 10))
+    c.set_defaults(func=_cmd_compress)
+
+    d = sub.add_parser("decompress", help="sequential decompression")
+    d.add_argument("input")
+    d.add_argument("-o", "--output")
+    d.add_argument("--no-verify", action="store_true", help="skip CRC check")
+    d.set_defaults(func=_cmd_decompress)
+
+    z = sub.add_parser("pugz", help="two-pass parallel decompression")
+    z.add_argument("input")
+    z.add_argument("-o", "--output")
+    z.add_argument("-t", "--threads", type=int, default=4)
+    z.add_argument("--executor", choices=("serial", "thread", "process"), default="process")
+    z.add_argument("--verify", action="store_true", help="check CRC32/ISIZE")
+    z.set_defaults(func=_cmd_pugz)
+
+    s = sub.add_parser("sync", help="find a DEFLATE block start")
+    s.add_argument("input")
+    s.add_argument("--offset", type=int, default=0, help="start searching at this byte")
+    s.set_defaults(func=_cmd_sync)
+
+    r = sub.add_parser("random-access", help="extract sequences from an offset")
+    r.add_argument("input")
+    r.add_argument("--offset", type=int, required=True, help="compressed byte offset")
+    r.add_argument("--min-read-length", type=int, default=20)
+    r.add_argument("--max-output", type=int, default=None)
+    r.set_defaults(func=_cmd_random_access)
+
+    i = sub.add_parser("info", help="show gzip member/block structure")
+    i.add_argument("input")
+    i.add_argument("--blocks", action="store_true", help="also list DEFLATE blocks")
+    i.set_defaults(func=_cmd_info)
+
+    st = sub.add_parser("stream", help="memory-bounded parallel decompression")
+    st.add_argument("input")
+    st.add_argument("-o", "--output")
+    st.add_argument("--chunks", type=int, default=16)
+    st.add_argument("--stripe", type=int, default=4)
+    st.add_argument("--executor", choices=("serial", "thread", "process"), default="serial")
+    st.set_defaults(func=_cmd_stream)
+
+    g = sub.add_parser("pigz", help="chunk-parallel gzip compression")
+    g.add_argument("input")
+    g.add_argument("-o", "--output")
+    g.add_argument("-l", "--level", type=int, default=6, choices=range(1, 10))
+    g.add_argument("-t", "--threads", type=int, default=4)
+    g.add_argument("--chunk-size", type=int, default=131072)
+    g.add_argument("--executor", choices=("serial", "thread", "process"), default="process")
+    g.set_defaults(func=_cmd_pigz)
+
+    rec = sub.add_parser("recover", help="salvage data from a corrupted gzip file")
+    rec.add_argument("input")
+    rec.add_argument("-o", "--output")
+    rec.add_argument("--guess", action="store_true",
+                     help="fill undetermined characters with best guesses")
+    rec.set_defaults(func=_cmd_recover)
+
+    x = sub.add_parser("index", help="build or use a checkpoint index (ref [11])")
+    x.add_argument("input")
+    x.add_argument("index_file", help="index sidecar path")
+    x.add_argument("--span", type=int, default=1 << 20, help="bytes between checkpoints")
+    x.add_argument("--extract", type=int, default=None,
+                   help="uncompressed offset to extract (uses an existing index)")
+    x.add_argument("--size", type=int, default=1024)
+    x.add_argument("-o", "--output")
+    x.set_defaults(func=_cmd_index)
+
+    b = sub.add_parser("bgzf", help="blocked gzip (BGZF) operations (ref [12])")
+    b.add_argument("mode", choices=("compress", "decompress", "extract"))
+    b.add_argument("input")
+    b.add_argument("-o", "--output")
+    b.add_argument("-l", "--level", type=int, default=6, choices=range(0, 10))
+    b.add_argument("--offset", type=int, default=0, help="extract: uncompressed offset")
+    b.add_argument("--size", type=int, default=1024, help="extract: byte count")
+    b.set_defaults(func=_cmd_bgzf)
+
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""Splitting a DEFLATE payload into chunks at confirmed block starts.
+
+The two-pass decompressor breaks the compressed payload into ``n``
+roughly equal parts ``C_1..C_n`` (Section VI-C).  Chunk 0 starts at the
+payload start (a known block start); every other boundary is located by
+running block-start detection from an evenly spaced byte target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.sync import find_block_start
+from repro.errors import SyncError
+
+__all__ = ["Chunk", "plan_chunks"]
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One compressed chunk: decode blocks in ``[start_bit, stop_bit)``."""
+
+    index: int
+    start_bit: int
+    #: Bit offset at which the next chunk begins (decode stops at the
+    #: block boundary reaching it); ``None`` for the last chunk.
+    stop_bit: int | None
+
+
+def plan_chunks(
+    data,
+    payload_start_bit: int,
+    payload_end_bit: int,
+    n_chunks: int,
+    *,
+    confirm_blocks: int = 5,
+) -> list[Chunk]:
+    """Split ``[payload_start_bit, payload_end_bit)`` into up to ``n_chunks``.
+
+    Boundaries land on confirmed block starts; targets that sync to the
+    same block (tiny payloads) are merged, so fewer chunks than
+    requested may be returned.  Chunk 0 always starts exactly at
+    ``payload_start_bit``.
+    """
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be >= 1")
+    payload_bits = payload_end_bit - payload_start_bit
+    starts = [payload_start_bit]
+    for k in range(1, n_chunks):
+        target = payload_start_bit + (payload_bits * k) // n_chunks
+        # Search on byte granularity targets like pugz (it splits the
+        # file into byte ranges); bit-level targets work identically.
+        try:
+            sync = find_block_start(
+                data,
+                start_bit=max(target, starts[-1] + 1),
+                confirm_blocks=confirm_blocks,
+                end_bit=payload_end_bit,
+            )
+        except SyncError:
+            # No further block start (e.g. the tail is one huge block);
+            # the previous chunk simply extends to the end.
+            break
+        if sync.bit_offset > starts[-1]:
+            starts.append(sync.bit_offset)
+
+    chunks = []
+    for i, start in enumerate(starts):
+        stop = starts[i + 1] if i + 1 < len(starts) else None
+        chunks.append(Chunk(index=i, start_bit=start, stop_bit=stop))
+    return chunks

@@ -1,0 +1,256 @@
+"""Guessing undetermined characters (the paper's future work).
+
+Discussion section: *"It did not escape our attention that guessing
+those undetermined characters could be possible, but we did not yet
+explore this direction."*  This module explores it.
+
+Two sources of information constrain a marker ``U_j``:
+
+1. **Type constraints** — in a FASTQ file the surrounding characters
+   usually pin down the line type of an undetermined position: a
+   marker flanked by nucleotides inside a read line must be one of
+   A/C/G/T/N; one inside a quality line must come from the file's
+   quality alphabet.
+2. **Consistency constraints** — the *same* marker ``U_j`` may surface
+   at many output positions (every back-reference chain from context
+   position ``j``).  All its occurrences are the same byte, so their
+   type constraints intersect, and any occurrence whose local context
+   fully determines the byte (e.g. a length-1 gap in an otherwise
+   repeated header) fixes every other occurrence.
+
+The guesser combines both: per-marker candidate sets from intersected
+local classifications, then a per-position maximum-likelihood fill from
+an order-2 context model trained on the *determined* part of the same
+stream.  Accuracy is evaluated against ground truth in the benchmarks
+(``benchmarks/test_future_guessing.py``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.marker import MARKER_BASE
+
+__all__ = ["GuessReport", "classify_marker_contexts", "guess_markers"]
+
+_DNA = frozenset(b"ACGTN")
+_NEWLINE = 10
+
+
+@dataclass
+class GuessReport:
+    """Outcome of a guessing pass."""
+
+    #: Symbols with markers replaced by guesses (int32, byte domain).
+    symbols: np.ndarray
+    #: Output positions that were guessed.
+    guessed_positions: np.ndarray
+    #: Per-marker candidate-set sizes (marker position j -> #candidates).
+    candidates: dict[int, int]
+    #: Markers whose constraints were contradictory (left as 'N').
+    contradictions: int
+
+
+def _line_type_of_run(symbols: np.ndarray, pos: int) -> str:
+    """Classify the line containing ``pos``: dna / quality / other.
+
+    Scans to the nearest newlines (bounded) and votes on the concrete
+    characters in between.
+    """
+    n = len(symbols)
+    lo = pos
+    steps = 0
+    while lo > 0 and symbols[lo - 1] != _NEWLINE and steps < 400:
+        lo -= 1
+        steps += 1
+    hi = pos
+    steps = 0
+    while hi + 1 < n and symbols[hi + 1] != _NEWLINE and steps < 400:
+        hi += 1
+        steps += 1
+    line = symbols[lo : hi + 1]
+    concrete = line[line < MARKER_BASE]
+    if len(concrete) == 0:
+        return "unknown"
+    first = int(line[0]) if line[0] < MARKER_BASE else -1
+    if first == ord("@"):
+        return "header"
+    if first == ord("+") and len(line) <= 2:
+        return "plus"
+    # Headers are recognisable by their field separators even when
+    # their first byte is undetermined.
+    if int((concrete == ord(":")).sum()) >= 3:
+        return "header"
+    dna_frac = float(np.isin(concrete, list(_DNA)).mean())
+    if dna_frac > 0.95:
+        return "dna"
+    if dna_frac < 0.5:
+        return "quality"
+    return "unknown"
+
+
+def classify_marker_contexts(symbols: np.ndarray) -> dict[int, set]:
+    """Candidate byte sets per marker index, from intersected contexts.
+
+    For every occurrence of marker ``U_j``, the local line type implies
+    an alphabet; the candidate set for ``j`` is the intersection over
+    all its occurrences (FASTQ alphabets: DNA letters vs the quality
+    range vs anything printable).
+    """
+    symbols = np.asarray(symbols, dtype=np.int32)
+    alphabet = {
+        "dna": set(_DNA),
+        "quality": set(range(33, 127)) - _DNA,
+        "header": set(range(32, 127)),
+        "plus": {ord("+")},
+        "unknown": set(range(9, 127)),
+    }
+    occurrences: dict[int, list[int]] = defaultdict(list)
+    for pos in np.flatnonzero(symbols >= MARKER_BASE):
+        occurrences[int(symbols[pos]) - MARKER_BASE].append(int(pos))
+
+    candidates: dict[int, set] = {}
+    for j, positions in occurrences.items():
+        cand = set(range(9, 127))
+        # Sampling a few occurrences is enough: constraints repeat.
+        for pos in positions[:8]:
+            cand &= alphabet[_line_type_of_run(symbols, pos)]
+            if len(cand) <= 1:
+                break
+        candidates[j] = cand
+    return candidates
+
+
+def _train_order2(symbols: np.ndarray) -> dict[tuple[int, int], Counter]:
+    """Order-2 byte model over the determined regions of the stream."""
+    model: dict[tuple[int, int], Counter] = defaultdict(Counter)
+    # Vectorised triple extraction over concrete positions.
+    a = symbols[:-2]
+    b = symbols[1:-1]
+    c = symbols[2:]
+    ok = (a < MARKER_BASE) & (b < MARKER_BASE) & (c < MARKER_BASE)
+    for x, y, z in zip(a[ok].tolist(), b[ok].tolist(), c[ok].tolist()):
+        model[(x, y)][z] += 1
+    return model
+
+
+def _train_header_columns(symbols: np.ndarray) -> list[Counter]:
+    """Per-column byte distributions of determined header lines.
+
+    FASTQ headers are near-identical templates ("@SIM001:42:FCX:...");
+    a marker at header column k is almost always the column's majority
+    byte.  This is the consistency constraint at its strongest.
+    """
+    columns: list[Counter] = []
+    n = len(symbols)
+    pos = 0
+    at = ord("@")
+    while pos < n:
+        end = pos
+        while end < n and symbols[end] != _NEWLINE:
+            end += 1
+        line = symbols[pos:end]
+        if len(line) and line[0] == at:
+            for k, v in enumerate(line.tolist()):
+                if v < MARKER_BASE:
+                    while len(columns) <= k:
+                        columns.append(Counter())
+                    columns[k][v] += 1
+        pos = end + 1
+    return columns
+
+
+def _header_line_start(symbols: np.ndarray, pos: int) -> int | None:
+    """Start index of the header line containing ``pos`` (or None).
+
+    Accepts lines whose leading '@' is itself undetermined, using the
+    field-separator heuristic of :func:`_line_type_of_run`.
+    """
+    lo = pos
+    steps = 0
+    while lo > 0 and symbols[lo - 1] != _NEWLINE and steps < 400:
+        lo -= 1
+        steps += 1
+    if lo >= len(symbols):
+        return None
+    if symbols[lo] == ord("@"):
+        return lo
+    if _line_type_of_run(symbols, pos) == "header":
+        return lo
+    return None
+
+
+def guess_markers(symbols: np.ndarray, train: bool = True) -> GuessReport:
+    """Replace every marker with its best guess.
+
+    Constraint propagation first (singleton candidate sets are exact);
+    remaining markers get the order-2 model's most likely byte among
+    their candidates, falling back to ``N`` for DNA / ``I`` for quality
+    / ``?`` otherwise.
+    """
+    symbols = np.asarray(symbols, dtype=np.int32)
+    out = symbols.copy()
+    marker_pos = np.flatnonzero(symbols >= MARKER_BASE)
+    if len(marker_pos) == 0:
+        return GuessReport(out, marker_pos, {}, 0)
+
+    candidates = classify_marker_contexts(symbols)
+    model = _train_order2(symbols) if train else {}
+    header_cols = _train_header_columns(symbols) if train else []
+    # Global byte frequencies over determined positions (fallback prior).
+    concrete = symbols[symbols < MARKER_BASE]
+    global_freq = Counter(concrete.tolist())
+
+    contradictions = 0
+    resolved: dict[int, int] = {}
+    for j, cand in candidates.items():
+        if len(cand) == 1:
+            resolved[j] = next(iter(cand))
+        elif len(cand) == 0:
+            contradictions += 1
+
+    def best_in(cand: set, counter: Counter) -> int | None:
+        for byte, _count in counter.most_common():
+            if not cand or byte in cand:
+                return byte
+        return None
+
+    for pos in marker_pos.tolist():
+        j = int(symbols[pos]) - MARKER_BASE
+        if j in resolved:
+            out[pos] = resolved[j]
+            continue
+        cand = candidates.get(j, set())
+
+        # 1. Header template voting: strongest signal, headers are
+        #    near-constant column-wise.
+        guess = None
+        line_start = _header_line_start(symbols, pos)
+        if line_start is not None:
+            col = pos - line_start
+            if col < len(header_cols) and header_cols[col]:
+                guess = best_in(cand, header_cols[col])
+
+        # 2. Order-2 context model, conditioning on already-guessed
+        #    left neighbours (out[], not symbols[]).
+        if guess is None and pos >= 2 and out[pos - 2] < 256 and out[pos - 1] < 256:
+            ctx = (int(out[pos - 2]), int(out[pos - 1]))
+            if ctx in model:
+                guess = best_in(cand, model[ctx])
+
+        # 3. Global frequency prior within the candidate set.
+        if guess is None:
+            guess = best_in(cand, global_freq)
+        if guess is None:
+            guess = next(iter(sorted(cand))) if cand else ord("?")
+        out[pos] = guess
+
+    return GuessReport(
+        symbols=out,
+        guessed_positions=marker_pos,
+        candidates={j: len(c) for j, c in candidates.items()},
+        contradictions=contradictions,
+    )

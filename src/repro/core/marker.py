@@ -1,0 +1,118 @@
+"""The marker symbol alphabet for undetermined-context decompression.
+
+Section VI-C of the paper: instead of a context of identical '?'
+characters, pugz seeds decompression with a window of *unique* symbols
+``wˆ = [U_0, ..., U_32767]``, so that every back-reference into the
+unknown context can later be resolved once the true context is known.
+
+We represent the extended alphabet as ``int32`` codes:
+
+* ``0..255`` — concrete bytes;
+* ``MARKER_BASE + j`` (``j`` in ``[0, 32768)``) — the marker ``U_j``,
+  i.e. "whatever byte sits at position ``j`` of the initial window".
+
+Position ``j = 0`` is the *oldest* byte of the initial context (32768
+bytes before the decompression start point) and ``j = 32767`` the byte
+immediately preceding it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.deflate.constants import WINDOW_SIZE
+from repro.errors import ReproError
+
+__all__ = [
+    "MARKER_BASE",
+    "NUM_SYMBOLS",
+    "undetermined_window",
+    "is_marker",
+    "marker_positions",
+    "count_markers",
+    "resolve",
+    "to_bytes",
+    "from_bytes",
+]
+
+#: First marker code; codes below are plain bytes.
+MARKER_BASE = 256
+
+#: Total alphabet size (bytes + one marker per window position).
+NUM_SYMBOLS = MARKER_BASE + WINDOW_SIZE
+
+
+def undetermined_window() -> list[int]:
+    """The fully-undetermined initial context ``[U_0, ..., U_32767]``.
+
+    Returned as a Python list because the decoder's window/output buffer
+    is list-based (see :mod:`repro.core.marker_inflate`).
+    """
+    return list(range(MARKER_BASE, MARKER_BASE + WINDOW_SIZE))
+
+
+def is_marker(symbols: np.ndarray) -> np.ndarray:
+    """Boolean mask: which entries of a symbol array are markers."""
+    return np.asarray(symbols) >= MARKER_BASE
+
+
+def marker_positions(symbols: np.ndarray) -> np.ndarray:
+    """Initial-window positions referenced by the marker entries.
+
+    Non-marker entries map to -1.
+    """
+    symbols = np.asarray(symbols)
+    out = np.full(symbols.shape, -1, dtype=np.int32)
+    mask = symbols >= MARKER_BASE
+    out[mask] = symbols[mask] - MARKER_BASE
+    return out
+
+
+def count_markers(symbols: np.ndarray) -> int:
+    """Number of undetermined characters in a symbol array."""
+    return int((np.asarray(symbols) >= MARKER_BASE).sum())
+
+
+def resolve(symbols: np.ndarray, window) -> np.ndarray:
+    """Replace every marker ``U_j`` with ``window[j]``.
+
+    ``window`` is the resolved context (bytes or symbol codes) of length
+    32768; if it still contains markers they propagate into the output
+    (this is exactly the sequential resolution step of the second pass:
+    resolving ``w_{i+1}`` with a *partially* resolved ``w_i`` chains the
+    references one link back).
+    """
+    symbols = np.asarray(symbols, dtype=np.int32)
+    window = np.asarray(window, dtype=np.int32)
+    if window.shape != (WINDOW_SIZE,):
+        raise ReproError(
+            f"resolution window must have {WINDOW_SIZE} entries, got {window.shape}"
+        )
+    mask = symbols >= MARKER_BASE
+    out = symbols.copy()
+    out[mask] = window[symbols[mask] - MARKER_BASE]
+    return out
+
+
+def to_bytes(symbols: np.ndarray, placeholder: int | None = None) -> bytes:
+    """Convert a symbol array to bytes.
+
+    Remaining markers are an error unless ``placeholder`` (e.g.
+    ``ord('?')``) is given, in which case they render as that byte —
+    the paper's '?' display convention (Figure 1).
+    """
+    symbols = np.asarray(symbols, dtype=np.int32)
+    mask = symbols >= MARKER_BASE
+    if mask.any():
+        if placeholder is None:
+            raise ReproError(
+                f"{int(mask.sum())} unresolved markers in symbol stream"
+            )
+        symbols = symbols.copy()
+        symbols[mask] = placeholder
+    return symbols.astype(np.uint8).tobytes()
+
+
+def from_bytes(data: bytes) -> np.ndarray:
+    """Lift concrete bytes into the symbol domain."""
+    return np.frombuffer(data, dtype=np.uint8).astype(np.int32)

@@ -1,0 +1,295 @@
+"""DEFLATE decompression over the marker alphabet.
+
+This is Algorithm 2 of the paper run with the *undetermined context*
+``wˆ = [U_0..U_32767]`` of Section VI-C: literals decode to concrete
+bytes; matches copy symbols — possibly markers — from the window.  The
+output is a stream over the extended alphabet of
+:mod:`repro.core.marker`, in which every surviving marker records
+exactly which initial-context position it came from.
+
+Two consumption modes:
+
+* **full output** (default): the whole symbol stream is returned as an
+  ``int32`` array — used by the parallel decompressor's first pass and
+  by the random-access analyses;
+* **streaming** (``sink=...``): symbols are flushed to a callback in
+  large chunks and only the 32 KiB window is retained — used for the
+  Figure 2 scale experiments (tens of MB) where materialising the
+  output would dominate memory.
+
+The block-header machinery is shared with the byte-domain decoder
+(:func:`repro.deflate.inflate.read_block_header`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import marker
+from repro.deflate import constants as C
+from repro.deflate.bitio import BitReader
+from repro.deflate.inflate import BlockInfo, read_block_header
+from repro.errors import BitstreamError, HuffmanError, BackrefError
+
+__all__ = ["MarkerInflateResult", "marker_inflate"]
+
+
+@dataclass
+class MarkerInflateResult:
+    """Output of :func:`marker_inflate`."""
+
+    #: Full symbol stream (``None`` in streaming mode).
+    symbols: np.ndarray | None
+    #: Bit position just past the last decoded block.
+    end_bit: int
+    #: True if a BFINAL=1 block was decoded.
+    final_seen: bool
+    #: True if decoding stopped because of ``max_output``.
+    truncated: bool
+    #: Total symbols produced (counting flushed ones).
+    total_output: int
+    #: Final 32 KiB window (symbol domain) — ``w_{i+1}`` of the paper.
+    window: np.ndarray
+    blocks: list[BlockInfo] = field(default_factory=list)
+
+
+def _seed_window(window) -> list[int]:
+    """Build the initial 32 KiB symbol window from caller input.
+
+    ``None`` -> fully undetermined; bytes/array shorter than 32 KiB are
+    right-aligned (they are the *most recent* history) with markers
+    filling the unknown older positions.
+    """
+    if window is None:
+        return marker.undetermined_window()
+    if isinstance(window, (bytes, bytearray, memoryview)):
+        vals = list(bytes(window)[-C.WINDOW_SIZE:])
+    else:
+        vals = [int(v) for v in window][-C.WINDOW_SIZE:]
+    for v in vals:
+        if not 0 <= v < marker.NUM_SYMBOLS:
+            raise ValueError(f"symbol {v} outside marker alphabet")
+    missing = C.WINDOW_SIZE - len(vals)
+    if missing:
+        vals = list(range(marker.MARKER_BASE, marker.MARKER_BASE + missing)) + vals
+    return vals
+
+
+def marker_inflate(
+    data,
+    start_bit: int = 0,
+    window=None,
+    *,
+    sink=None,
+    flush_symbols: int = 1 << 20,
+    max_output: int | None = None,
+    max_blocks: int | None = None,
+    stop_bit: int | None = None,
+    stop_at_final: bool = True,
+) -> MarkerInflateResult:
+    """Decompress a DEFLATE stream into the marker symbol domain.
+
+    Parameters
+    ----------
+    data:
+        Compressed buffer.
+    start_bit:
+        Bit offset of the first block header (e.g. from
+        :func:`repro.core.sync.find_block_start`).
+    window:
+        Initial context; ``None`` means fully undetermined.
+    sink:
+        Streaming callback ``sink(symbols_list, start_position)``; when
+        given, ``result.symbols`` is ``None``.
+    flush_symbols:
+        Streaming granularity.
+    max_output:
+        Stop (mid-block) once this many symbols were produced.
+    max_blocks:
+        Stop after this many complete blocks.
+    stop_bit:
+        Stop at the block boundary at/after this bit position — the
+        first pass of the parallel decompressor stops where the next
+        thread's chunk begins.
+    stop_at_final:
+        Stop after a BFINAL=1 block.
+    """
+    reader = BitReader(data, start_bit)
+    out: list[int] = _seed_window(window)
+    hist0 = len(out)  # 32768
+    out_offset = -hist0  # output position of out[0]
+    emitted = 0  # symbols already flushed to sink
+    blocks: list[BlockInfo] = []
+    final_seen = False
+    truncated = False
+
+    lbase = C.LENGTH_BASE
+    lextra = C.LENGTH_EXTRA_BITS
+    dbase = C.DIST_BASE
+    dextra = C.DIST_EXTRA_BITS
+
+    def _flush(final: bool = False) -> None:
+        nonlocal out, out_offset, emitted
+        if sink is None:
+            return
+        start_k = emitted - out_offset
+        chunk = out[start_k:]
+        if chunk:
+            sink(chunk, emitted)
+            emitted += len(chunk)
+        if not final and len(out) > C.WINDOW_SIZE:
+            drop = len(out) - C.WINDOW_SIZE
+            out = out[drop:]
+            out_offset += drop
+
+    while True:
+        total = out_offset + len(out)
+        if max_blocks is not None and len(blocks) >= max_blocks:
+            break
+        if max_output is not None and total >= max_output:
+            truncated = True
+            break
+        if stop_bit is not None and reader.tell_bits() >= stop_bit:
+            break
+        if reader.bits_remaining() < 3:
+            break
+
+        block_start_bit = reader.tell_bits()
+        header = read_block_header(reader)
+        out_start = out_offset + len(out)
+
+        if header.btype == C.BTYPE_STORED:
+            chunk = reader.read_bytes(header.stored_len)
+            out.extend(chunk)
+        else:
+            truncated = _decode_block_symbols(
+                reader, header, out,
+                lbase, lextra, dbase, dextra,
+                budget=None if max_output is None else max_output - out_start,
+            )
+
+        out_end = out_offset + len(out)
+        blocks.append(
+            BlockInfo(
+                start_bit=block_start_bit,
+                end_bit=reader.tell_bits(),
+                out_start=out_start,
+                out_end=out_end,
+                btype=header.btype,
+                bfinal=header.bfinal,
+            )
+        )
+        if sink is not None and len(out) - (emitted - out_offset) >= flush_symbols:
+            _flush()
+        if truncated:
+            break
+        if header.bfinal:
+            final_seen = True
+            if stop_at_final:
+                break
+
+    total_output = out_offset + len(out)
+    window_arr = np.asarray(out[-C.WINDOW_SIZE:], dtype=np.int32)
+    if sink is not None:
+        _flush(final=True)
+        symbols = None
+    else:
+        symbols = np.asarray(out[hist0:], dtype=np.int32)
+    return MarkerInflateResult(
+        symbols=symbols,
+        end_bit=reader.tell_bits(),
+        final_seen=final_seen,
+        truncated=truncated,
+        total_output=total_output,
+        window=window_arr,
+        blocks=blocks,
+    )
+
+
+def _decode_block_symbols(
+    reader: BitReader,
+    header,
+    out: list[int],
+    lbase,
+    lextra,
+    dbase,
+    dextra,
+    budget: int | None,
+) -> bool:
+    """Decode one compressed block into the symbol list.
+
+    Returns ``True`` if decoding stopped early because ``budget``
+    symbols were produced (the caller then reports truncation).
+    """
+    litlen = header.litlen
+    dist = header.dist
+    lit_table = litlen.table
+    lit_bits = litlen.max_bits
+    lit_mask = (1 << lit_bits) - 1
+    dist_table = dist.table if dist is not None else None
+    dist_bits = dist.max_bits if dist is not None else 0
+    dist_mask = (1 << dist_bits) - 1
+
+    produced = 0
+
+    while True:
+        if budget is not None and produced >= budget:
+            return True
+
+        if reader._bitcount < lit_bits:
+            reader._refill()
+        entry = lit_table[reader._bitbuf & lit_mask]
+        nbits = entry & 15
+        if nbits == 0:
+            raise HuffmanError("invalid litlen code")
+        if nbits > reader._bitcount:
+            raise BitstreamError("litlen code past end of stream")
+        reader._bitbuf >>= nbits
+        reader._bitcount -= nbits
+        sym = entry >> 4
+
+        if sym < 256:
+            out.append(sym)
+            produced += 1
+            continue
+        if sym == C.END_OF_BLOCK:
+            return False
+        if sym > C.MAX_USED_LITLEN:
+            raise HuffmanError(f"invalid length symbol {sym}")
+
+        idx = sym - 257
+        extra = lextra[idx]
+        length = lbase[idx] + (reader.read(extra) if extra else 0)
+
+        if dist_table is None:
+            raise BackrefError("match in block that declared no distance codes")
+        if reader._bitcount < dist_bits:
+            reader._refill()
+        entry = dist_table[reader._bitbuf & dist_mask]
+        nbits = entry & 15
+        if nbits == 0:
+            raise HuffmanError("invalid distance code")
+        if nbits > reader._bitcount:
+            raise BitstreamError("distance code past end of stream")
+        reader._bitbuf >>= nbits
+        reader._bitcount -= nbits
+        dsym = entry >> 4
+        if dsym > C.MAX_USED_DIST:
+            raise HuffmanError(f"invalid distance symbol {dsym}")
+        dex = dextra[dsym]
+        distance = dbase[dsym] + (reader.read(dex) if dex else 0)
+
+        pos = len(out) - distance
+        if pos < 0:
+            raise BackrefError(
+                f"distance {distance} exceeds seeded window + history"
+            )
+        if distance >= length:
+            out.extend(out[pos : pos + length])
+        else:
+            pattern = out[pos:]
+            reps = -(-length // distance)
+            out.extend((pattern * reps)[:length])
+        produced += length

@@ -1,0 +1,118 @@
+"""Streaming sequence extraction (Appendix X-B at unbounded scale).
+
+The batch extractor (:mod:`repro.core.sequences`) needs the whole
+symbol stream in memory.  This sink-based variant plugs into
+:func:`repro.core.marker_inflate.marker_inflate`'s streaming mode and
+handles the paper's "special case ... to handle sequences that span two
+blocks" — here, spans across *flush chunks* — by carrying the active
+partial match between chunks.  Memory is O(longest sequence), so
+Table I-style scans can run over arbitrarily large files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.sequences import ExtractedSequence, _SEQ_RE, classify_symbols
+
+__all__ = ["StreamingSequenceExtractor"]
+
+
+@dataclass
+class StreamingSequenceExtractor:
+    """Sink object: feed symbol chunks, collect extracted sequences.
+
+    Usage::
+
+        extractor = StreamingSequenceExtractor(min_length=30)
+        marker_inflate(gz, start_bit=..., sink=extractor)
+        extractor.finish()
+        extractor.sequences  # positions are global stream offsets
+    """
+
+    min_length: int = 20
+    max_length: int | None = None
+    sequences: list[ExtractedSequence] = field(default_factory=list)
+    _carry: bytes = b""          # class-string tail that may continue
+    _carry_start: int = 0        # global position of the carry's first char
+    _total: int = 0
+    _finished: bool = False
+
+    def __call__(self, symbols: list[int], start_position: int) -> None:
+        if self._finished:
+            raise RuntimeError("extractor already finished")
+        classes = classify_symbols(np.asarray(symbols, dtype=np.int32))
+        if self._carry:
+            if start_position != self._carry_start + len(self._carry):
+                raise ValueError("chunks must arrive contiguously")
+            buf = self._carry + classes
+            buf_start = self._carry_start
+        else:
+            buf = classes
+            buf_start = start_position
+        self._total = start_position + len(classes)
+
+        # A match is *final* iff the D/U run at its trailing lookahead
+        # terminates inside the buffer — equivalently, iff it ends
+        # before the buffer's trailing maximal D/U run (which might
+        # still extend into the next chunk).  Everything from one
+        # character before that run (its potential leading terminator)
+        # onwards is carried.
+        tail_start = self._tail_run_start(buf)
+        self._extract(buf, buf_start, keep_end_before=tail_start)
+        carry_from = max(0, tail_start - 1)
+        self._carry = buf[carry_from:]
+        self._carry_start = buf_start + carry_from
+        # Bound the carry: anything longer than max_length (or a
+        # generous default) cannot be a read; keep only the tail that
+        # could still matter.
+        cap = (self.max_length or 100_000) + 2
+        if len(self._carry) > cap:
+            drop = len(self._carry) - cap
+            self._carry = self._carry[drop:]
+            self._carry_start += drop
+
+    @staticmethod
+    def _tail_run_start(buf: bytes) -> int:
+        """Start index of the buffer's trailing maximal D/U run.
+
+        ``len(buf)`` when the buffer ends with a terminator or other
+        character (no trailing run).
+        """
+        i = len(buf)
+        while i > 0 and buf[i - 1 : i] in (b"D", b"U"):
+            i -= 1
+        return i
+
+    def _extract(self, classes: bytes, global_start: int, keep_end_before: int | None = None) -> None:
+        for m in _SEQ_RE.finditer(classes):
+            start, end = m.span()
+            if keep_end_before is not None and end >= keep_end_before:
+                continue  # provisional: may extend into the next chunk
+            if end - start < self.min_length:
+                continue
+            if self.max_length is not None and end - start > self.max_length:
+                continue
+            self.sequences.append(
+                ExtractedSequence(
+                    start=global_start + start,
+                    end=global_start + end,
+                    undetermined=m.group().count(b"U"),
+                )
+            )
+
+    def finish(self) -> None:
+        """Flush the carried tail (terminated by end-of-stream)."""
+        if self._finished:
+            return
+        # End of stream acts as a terminator: append a virtual 'T'.
+        if self._carry:
+            self._extract(self._carry + b"T", self._carry_start)
+        self._carry = b""
+        self._finished = True
+
+    @property
+    def total_symbols(self) -> int:
+        return self._total

@@ -1,0 +1,113 @@
+"""Heuristic extraction of DNA sequences from marker-domain output.
+
+Appendix X-B of the paper: given a decompressed block that may still
+contain undetermined characters, return all maximal non-overlapping
+substrings matching the grammar::
+
+    T D+ (U+ D+)* T
+
+where ``T`` is a newline or an undetermined character, ``D`` a
+nucleotide (A, C, G, T, N) and ``U`` an undetermined character.  The
+leading/trailing ``T`` are trimmed from the results (but are required,
+to filter out DNA-looking fragments of quality strings); matches
+shorter than a minimum read length are discarded.
+
+The implementation classifies every symbol into a 1-byte class code and
+runs a compiled regex over the class string — O(n) and fast enough for
+multi-megabyte streams.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.marker import MARKER_BASE
+
+__all__ = ["ExtractedSequence", "extract_sequences", "classify_symbols"]
+
+#: Class codes.
+_CLS_OTHER = ord(".")
+_CLS_D = ord("D")
+_CLS_U = ord("U")
+_CLS_NL = ord("T")
+
+
+def _build_class_table() -> np.ndarray:
+    table = np.full(MARKER_BASE + 32768, _CLS_OTHER, dtype=np.uint8)
+    for b in b"ACGTN":
+        table[b] = _CLS_D
+    table[ord("\n")] = _CLS_NL
+    table[ord("\r")] = _CLS_NL
+    table[MARKER_BASE:] = _CLS_U
+    return table
+
+
+_CLASS_TABLE = _build_class_table()
+_CLASS_TABLE.setflags(write=False)
+
+# T D+ (U+ D+)* T with the terminators as zero-width context, so that
+# adjacent sequences can share a terminator.  A marker (U) can serve as
+# a terminator too, hence the [TU] classes on both sides.
+_SEQ_RE = re.compile(rb"(?<=[TU])D+(?:U+D+)*(?=[TU])")
+
+
+@dataclass(frozen=True)
+class ExtractedSequence:
+    """One heuristically extracted DNA sequence."""
+
+    #: Start offset within the analysed symbol array.
+    start: int
+    #: End offset (exclusive).
+    end: int
+    #: Number of undetermined characters inside the sequence.
+    undetermined: int
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    @property
+    def is_unambiguous(self) -> bool:
+        """True if the sequence contains no undetermined character."""
+        return self.undetermined == 0
+
+
+def classify_symbols(symbols: np.ndarray) -> bytes:
+    """Map a symbol array to the class string the grammar runs over."""
+    symbols = np.asarray(symbols, dtype=np.int32)
+    return _CLASS_TABLE[symbols].tobytes()
+
+
+def extract_sequences(
+    symbols: np.ndarray,
+    min_length: int = 20,
+    max_length: int | None = None,
+) -> list[ExtractedSequence]:
+    """Run the Appendix X-B grammar over a symbol stream.
+
+    Parameters
+    ----------
+    symbols:
+        Marker-domain symbols (``int32``), e.g. from
+        :func:`repro.core.marker_inflate.marker_inflate`.
+    min_length:
+        Matches shorter than this are discarded (the paper's
+        "minimum read length" filter).
+    max_length:
+        Optionally discard implausibly long matches (e.g. quality
+        strings that happen to look like DNA for kilobytes).
+    """
+    classes = classify_symbols(symbols)
+    out: list[ExtractedSequence] = []
+    for m in _SEQ_RE.finditer(classes):
+        start, end = m.span()
+        if end - start < min_length:
+            continue
+        if max_length is not None and end - start > max_length:
+            continue
+        undet = m.group().count(b"U")
+        out.append(ExtractedSequence(start=start, end=end, undetermined=undet))
+    return out

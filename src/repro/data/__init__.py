@@ -1,0 +1,49 @@
+"""Workload generators: DNA, FASTQ-like strings, synthetic FASTQ, corpora."""
+
+from repro.data.corpus import CorpusFile, CorpusSpec, build_corpus, gzip_zlib, level_stratum
+from repro.data.dna import mutate_dna, random_dna
+from repro.data.fastq import (
+    CHAR_TYPES,
+    FastqRecord,
+    classify_fastq_bytes,
+    parse_fastq,
+    synthetic_fastq,
+)
+from repro.data.fasta import FastaRecord, parse_fasta, synthetic_fasta, wrap_sequence
+from repro.data.fastq_like import fastq_like
+from repro.data.randomness import entropy_bits_per_char, is_random_like, window_entropies
+from repro.data.sra import (
+    ILLUMINA_ADAPTER,
+    adapter_contaminated_reads,
+    duplicated_reads,
+    low_gc_fastq,
+    paired_end_fastq,
+)
+
+__all__ = [
+    "random_dna",
+    "mutate_dna",
+    "fastq_like",
+    "synthetic_fastq",
+    "parse_fastq",
+    "classify_fastq_bytes",
+    "FastqRecord",
+    "CHAR_TYPES",
+    "build_corpus",
+    "CorpusFile",
+    "CorpusSpec",
+    "gzip_zlib",
+    "level_stratum",
+    "entropy_bits_per_char",
+    "is_random_like",
+    "window_entropies",
+    "synthetic_fasta",
+    "parse_fasta",
+    "FastaRecord",
+    "wrap_sequence",
+    "adapter_contaminated_reads",
+    "duplicated_reads",
+    "low_gc_fastq",
+    "paired_end_fastq",
+    "ILLUMINA_ADAPTER",
+]

@@ -1,0 +1,152 @@
+"""Synthetic corpus builder mimicking the paper's ENA dataset (Table I).
+
+The paper downloaded 100 FASTQ files (192.8 GB) from the European
+Nucleotide Archive and stratified them by the compression level that
+``file(1)`` reports: 26 "lowest", 68 "normal", 6 "highest".  Their own
+caveat applies: *"other gzip-compatible compressors may report a
+compression level that does not match the performance of gzip"* — the
+"lowest" stratum of public archives is dominated by fast encoders
+(Intel ISA-L igzip and friends) whose weak matchers (minimum match
+length 8, shallow search) emit literal-rich streams, which is exactly
+why those files are trivially random-accessible (Table I: 100 %
+unambiguous, small delay).
+
+We reproduce the corpus *structure* at laptop scale:
+
+* **lowest** — our own DEFLATE at level 1 with the weak-compressor
+  persona (``min_match=8``), modelling the igzip class;
+* **normal** — system zlib level 6 (gzip's engine, the paper's "usually
+  -6"), with heterogeneous content: some files with DNA-free quality
+  alphabets (these resolve ~100 %, like the paper's 48 % of files at
+  99.9-100 %) and some with Illumina-range qualities + DNA barcodes in
+  headers (DNA-quality/header cross-matches keep a fraction of
+  sequences ambiguous — the paper's explanation for the rest);
+* **highest** — system zlib level 9 with cross-matching content.
+
+See DESIGN.md ("substitutions") for why this preserves the Table I
+phenomena at MB scale.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+from repro.data.fastq import synthetic_fastq
+
+__all__ = ["CorpusFile", "CorpusSpec", "build_corpus", "gzip_zlib", "level_stratum"]
+
+#: The paper's Table I strata.
+STRATA = ("lowest", "normal", "highest")
+
+
+def level_stratum(level: int) -> str:
+    """Map a gzip level onto the paper's Table I stratum names."""
+    if level <= 1:
+        return "lowest"
+    if level >= 9:
+        return "highest"
+    return "normal"
+
+
+def gzip_zlib(data: bytes, level: int, mtime: int = 0) -> bytes:
+    """gzip-container compression via the system zlib (gzip's engine).
+
+    Produces the same DEFLATE token statistics as ``gzip -<level>``;
+    used to build experiment inputs quickly (our own compressor is
+    interoperable but pure Python, so large inputs go through zlib).
+    """
+    co = zlib.compressobj(level, zlib.DEFLATED, 31)  # wbits 31 = gzip container
+    return co.compress(data) + co.flush()
+
+
+@dataclass(frozen=True)
+class CorpusFile:
+    """One synthetic corpus member."""
+
+    name: str
+    level: int
+    stratum: str
+    uncompressed_size: int
+    gz: bytes
+    #: Content persona: "safe" or "crossmatch" (see module docstring).
+    persona: str = "safe"
+
+    @property
+    def compressed_size(self) -> int:
+        return len(self.gz)
+
+    @property
+    def ratio(self) -> float:
+        return self.compressed_size / self.uncompressed_size
+
+
+@dataclass
+class CorpusSpec:
+    """Shape of the corpus to synthesise.
+
+    Defaults scale the paper's 26/68/6 stratification down to a corpus
+    a pure-Python analysis pass can sweep in minutes.
+    """
+
+    n_lowest: int = 2
+    n_normal: int = 5
+    n_highest: int = 2
+    reads_per_file: int = 6000
+    read_length: int = 150
+    seed: int = 20190517  # the paper's arXiv date
+    #: Fraction of normal-stratum files given cross-matching content.
+    normal_crossmatch_fraction: float = 0.4
+
+    def plan(self) -> list[tuple[int, str]]:
+        """(level, persona) per file."""
+        plan: list[tuple[int, str]] = []
+        plan += [(1, "safe")] * self.n_lowest
+        n_cross = round(self.n_normal * self.normal_crossmatch_fraction)
+        plan += [(6, "safe")] * (self.n_normal - n_cross)
+        plan += [(6, "crossmatch")] * n_cross
+        plan += [(9, "crossmatch")] * self.n_highest
+        return plan
+
+
+def _generate_text(spec: CorpusSpec, index: int, persona: str) -> bytes:
+    if persona == "safe":
+        profile, barcode = "safe", None
+    elif persona == "crossmatch":
+        profile, barcode = "illumina", "ATCACG"
+    else:
+        raise ValueError(f"unknown persona {persona!r}")
+    return synthetic_fastq(
+        spec.reads_per_file,
+        read_length=spec.read_length,
+        seed=spec.seed + index,
+        run=spec.seed % 1000 + index,
+        quality_profile=profile,
+        barcode=barcode,
+    )
+
+
+def build_corpus(spec: CorpusSpec | None = None) -> list[CorpusFile]:
+    """Synthesise the corpus: distinct FASTQ content per file."""
+    spec = spec or CorpusSpec()
+    files = []
+    for i, (level, persona) in enumerate(spec.plan()):
+        text = _generate_text(spec, i, persona)
+        if level <= 1:
+            # Weak-compressor persona (igzip-class "fastest" encoder).
+            from repro.deflate import gzip_compress
+
+            gz = gzip_compress(text, level=1, min_match=8)
+        else:
+            gz = gzip_zlib(text, level)
+        files.append(
+            CorpusFile(
+                name=f"SYN{i:03d}_L{level}_{persona}.fastq.gz",
+                level=level,
+                stratum=level_stratum(level),
+                uncompressed_size=len(text),
+                gz=gz,
+                persona=persona,
+            )
+        )
+    return files

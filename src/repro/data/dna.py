@@ -1,0 +1,55 @@
+"""Random DNA generation (the Section IV-C / V workload).
+
+The paper's models treat short sequencing reads as random DNA (their
+footnote validates this on real Illumina data); these generators
+produce the synthetic equivalents at configurable GC content.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_dna", "mutate_dna", "NUCLEOTIDES"]
+
+NUCLEOTIDES = b"ACGT"
+
+
+def _rng(seed) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_dna(length: int, seed=None, gc_content: float = 0.5) -> bytes:
+    """Uniform (or GC-biased) random DNA of ``length`` bases.
+
+    ``gc_content`` is the combined probability of G and C; 0.5 gives
+    the uniform model of Section V-A.
+    """
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    if not 0.0 <= gc_content <= 1.0:
+        raise ValueError("gc_content must be in [0, 1]")
+    rng = _rng(seed)
+    at = (1.0 - gc_content) / 2.0
+    gc = gc_content / 2.0
+    probs = [at, gc, gc, at]  # A, C, G, T
+    idx = rng.choice(4, size=length, p=probs)
+    return np.frombuffer(NUCLEOTIDES, dtype=np.uint8)[idx].tobytes()
+
+
+def mutate_dna(dna: bytes, rate: float, seed=None) -> bytes:
+    """Point-mutate a DNA string at the given per-base rate.
+
+    Used to build low-complexity / repeat-rich workloads (each mutation
+    site breaks matches, raising the literal rate).
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("rate must be in [0, 1]")
+    rng = _rng(seed)
+    arr = np.frombuffer(dna, dtype=np.uint8).copy()
+    sites = rng.random(len(arr)) < rate
+    n = int(sites.sum())
+    if n:
+        arr[sites] = np.frombuffer(NUCLEOTIDES, dtype=np.uint8)[rng.integers(0, 4, size=n)]
+    return arr.tobytes()

@@ -1,0 +1,79 @@
+"""FASTA format support (the other ubiquitous DNA text format).
+
+The paper's machinery is FASTQ-centred, but the title's claim —
+"random access to DNA sequences" — extends naturally to FASTA
+(reference genomes, assemblies).  FASTA's structure is friendlier to
+random access than FASTQ's: no quality lines, so decompressed windows
+are mostly nucleotides and the Appendix X-B grammar needs only the
+newline terminators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.dna import random_dna
+from repro.errors import ReproError
+
+__all__ = ["FastaRecord", "synthetic_fasta", "parse_fasta", "wrap_sequence"]
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA record (unwrapped sequence)."""
+
+    header: bytes  # without the '>' prefix
+    sequence: bytes
+
+    def encode(self, width: int = 70) -> bytes:
+        return b">" + self.header + b"\n" + wrap_sequence(self.sequence, width)
+
+
+def wrap_sequence(seq: bytes, width: int = 70) -> bytes:
+    """Wrap a sequence to fixed-width lines (trailing newline included)."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    lines = [seq[i : i + width] for i in range(0, len(seq), width)] or [b""]
+    return b"\n".join(lines) + b"\n"
+
+
+def synthetic_fasta(
+    n_contigs: int,
+    contig_length: int = 50_000,
+    line_width: int = 70,
+    seed=None,
+    gc_content: float = 0.5,
+) -> bytes:
+    """Generate an assembly-like multi-FASTA file."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    parts = []
+    for i in range(n_contigs):
+        seq = random_dna(contig_length, seed=rng, gc_content=gc_content)
+        rec = FastaRecord(
+            header=f"contig_{i:04d} length={contig_length}".encode(),
+            sequence=seq,
+        )
+        parts.append(rec.encode(line_width))
+    return b"".join(parts)
+
+
+def parse_fasta(data: bytes) -> list[FastaRecord]:
+    """Strict FASTA parser (unwraps sequence lines)."""
+    records: list[FastaRecord] = []
+    header: bytes | None = None
+    seq_parts: list[bytes] = []
+    for line in data.split(b"\n"):
+        if line.startswith(b">"):
+            if header is not None:
+                records.append(FastaRecord(header, b"".join(seq_parts)))
+            header = line[1:]
+            seq_parts = []
+        elif line:
+            if header is None:
+                raise ReproError("sequence data before the first '>' header")
+            seq_parts.append(line)
+    if header is not None:
+        records.append(FastaRecord(header, b"".join(seq_parts)))
+    return records

@@ -1,0 +1,176 @@
+"""Synthetic Illumina-style FASTQ generation and strict FASTQ parsing.
+
+The generator mimics the structural features of real ENA files that
+drive the paper's phenomena:
+
+* 4-line records: ``@header``, DNA sequence, ``+``, quality string;
+* highly redundant headers (instrument/run/flowcell constant, tile and
+  coordinates increasing) — gzip compresses these with long matches,
+  which is why header characters from the initial context survive far
+  into the stream in Figure 4;
+* random DNA sequences (reads are near-incompressible, per the paper's
+  Section V-A footnote);
+* quality strings drawn from a small alphabet with position-dependent
+  bias (realistic Illumina profiles degrade toward the read's 3' end).
+
+The parser is a strict byte-domain FASTQ reader used by tests and
+examples (unlike the heuristic marker-domain extractor of
+:mod:`repro.core.sequences`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dna import random_dna
+from repro.errors import ReproError
+
+__all__ = ["FastqRecord", "synthetic_fastq", "parse_fastq", "classify_fastq_bytes", "CHAR_TYPES"]
+
+#: Character-type codes for the Figure 4 analysis.
+CHAR_TYPES = {"header": 0, "dna": 1, "plus": 2, "quality": 3, "newline": 4}
+
+#: Phred+33 quality alphabet used by the generator ('!' .. 'I').
+_QUAL_MIN = 33
+_QUAL_MAX = 73
+
+
+@dataclass(frozen=True)
+class FastqRecord:
+    """One FASTQ record (bytes fields, newline-free)."""
+
+    header: bytes
+    sequence: bytes
+    plus: bytes
+    quality: bytes
+
+    def encode(self) -> bytes:
+        return b"\n".join((self.header, self.sequence, self.plus, self.quality)) + b"\n"
+
+
+def synthetic_fastq(
+    n_reads: int,
+    read_length: int = 100,
+    seed=None,
+    instrument: str = "SIM001",
+    run: int = 42,
+    flowcell: str = "HFCX7",
+    lane: int = 1,
+    quality_profile: str = "illumina",
+    barcode: str | None = None,
+) -> bytes:
+    """Generate a synthetic FASTQ file with ``n_reads`` records.
+
+    ``quality_profile`` selects the quality-string statistics, which in
+    turn decide how much DNA-quality cross-matching gzip produces (the
+    driver of the paper's Table I ambiguity):
+
+    * ``"illumina"`` — position-dependent, skewed toward high quality;
+      the alphabet reaches into ``A..I``, i.e. it *contains DNA
+      letters*, enabling the cross-matches the paper blames for
+      ambiguous sequences;
+    * ``"safe"`` — uniform over ``!..@`` (no DNA letters), isolating
+      DNA from quality in the match space;
+    * ``"uniform"`` — uniform over the full ``!..I`` range, maximum
+      quality entropy.
+
+    ``barcode`` appends a DNA-letter index tag to every header (e.g.
+    ``"ATCACG"``) — another cross-matching channel real headers have.
+    """
+    if n_reads < 0 or read_length <= 0:
+        raise ValueError("n_reads must be >= 0 and read_length > 0")
+    rng = np.random.default_rng(seed)
+
+    dna = random_dna(n_reads * read_length, seed=rng)
+    quals = _quality_matrix(rng, n_reads, read_length, quality_profile)
+    tag = barcode if barcode is not None else "7"
+
+    parts = []
+    tile = 1101
+    x, y = 1000, 1000
+    for i in range(n_reads):
+        # Advance coordinates like a real flowcell scan.
+        x += int(rng.integers(1, 50))
+        if x > 30000:
+            x = 1000 + int(rng.integers(0, 50))
+            y += int(rng.integers(1, 40))
+            if y > 30000:
+                y = 1000
+                tile += 1
+        header = (
+            f"@{instrument}:{run}:{flowcell}:{lane}:{tile}:{x}:{y} 1:N:0:{tag}"
+        ).encode()
+        seq = dna[i * read_length : (i + 1) * read_length]
+        qual = quals[i].tobytes()
+        parts.append(header + b"\n" + seq + b"\n+\n" + qual + b"\n")
+    return b"".join(parts)
+
+
+def _quality_matrix(rng, n_reads: int, read_length: int, profile: str) -> np.ndarray:
+    if profile == "uniform":
+        return rng.integers(_QUAL_MIN, _QUAL_MAX + 1, size=(n_reads, read_length)).astype(np.uint8)
+    if profile == "safe":
+        # '!'..'@' (33..64): disjoint from the nucleotide letters.
+        return rng.integers(33, 65, size=(n_reads, read_length)).astype(np.uint8)
+    if profile != "illumina":
+        raise ValueError(f"unknown quality profile {profile!r}")
+    # Mean quality decays along the read; small per-base noise; values
+    # drawn from a handful of discrete bins like real Illumina RTA.
+    pos = np.arange(read_length)
+    mean_q = 38.0 - 8.0 * (pos / max(1, read_length - 1)) ** 2
+    noise = rng.normal(0.0, 2.0, size=(n_reads, read_length))
+    q = np.clip(np.round((mean_q + noise) / 2) * 2, 2, 40).astype(np.uint8)
+    return (q + 33).astype(np.uint8)
+
+
+def parse_fastq(data: bytes) -> list[FastqRecord]:
+    """Strict FASTQ parser (4-line records, validated)."""
+    records = []
+    lines = data.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    if len(lines) % 4:
+        raise ReproError(f"FASTQ line count {len(lines)} is not a multiple of 4")
+    for i in range(0, len(lines), 4):
+        header, seq, plus, qual = lines[i : i + 4]
+        if not header.startswith(b"@"):
+            raise ReproError(f"record {i // 4}: header does not start with '@'")
+        if not plus.startswith(b"+"):
+            raise ReproError(f"record {i // 4}: third line does not start with '+'")
+        if len(seq) != len(qual):
+            raise ReproError(
+                f"record {i // 4}: sequence/quality length mismatch "
+                f"({len(seq)} vs {len(qual)})"
+            )
+        records.append(FastqRecord(header, seq, plus, qual))
+    return records
+
+
+def classify_fastq_bytes(data: bytes) -> np.ndarray:
+    """Per-byte character-type codes (see :data:`CHAR_TYPES`).
+
+    Newlines get their own class; the Figure 4 analysis attributes each
+    surviving initial-context character to the type of the byte at that
+    context position in the *actual* stream.
+    """
+    out = np.empty(len(data), dtype=np.uint8)
+    pos = 0
+    line_idx = 0
+    for line in data.split(b"\n"):
+        n = len(line)
+        if n:
+            code = (
+                CHAR_TYPES["header"],
+                CHAR_TYPES["dna"],
+                CHAR_TYPES["plus"],
+                CHAR_TYPES["quality"],
+            )[line_idx % 4]
+            out[pos : pos + n] = code
+        pos += n
+        if pos < len(data):
+            out[pos] = CHAR_TYPES["newline"]
+            pos += 1
+        line_idx += 1
+    return out

@@ -1,0 +1,43 @@
+"""The paper's "FASTQ-like" synthetic workload (Section IV-D).
+
+    "We created a FASTQ-like string of length 150 MB by repeating 150
+     random DNA characters followed by 300 'x' characters."
+
+The 'x' spacers push DNA match offsets beyond what gzip's low levels
+favour, which is what makes literals reappear — the key structural
+difference between plain DNA files and FASTQ files.
+"""
+
+from __future__ import annotations
+
+from repro.data.dna import random_dna
+
+__all__ = ["fastq_like"]
+
+
+def fastq_like(
+    total_length: int,
+    dna_length: int = 150,
+    spacer_length: int = 300,
+    spacer: bytes = b"x",
+    seed=None,
+) -> bytes:
+    """Generate the repeating ``[DNA | spacer]`` string of Section IV-D.
+
+    Each repetition carries *fresh* random DNA (the paper repeats the
+    pattern, not the bases) followed by ``spacer_length`` copies of the
+    spacer byte; the output is truncated to ``total_length``.
+    """
+    if total_length < 0:
+        raise ValueError("total_length must be non-negative")
+    if dna_length <= 0 or spacer_length < 0:
+        raise ValueError("dna_length must be positive, spacer_length non-negative")
+    unit = dna_length + spacer_length
+    n_units = -(-total_length // unit)
+    dna = random_dna(n_units * dna_length, seed=seed)
+    spacer_block = spacer * spacer_length
+    parts = []
+    for u in range(n_units):
+        parts.append(dna[u * dna_length : (u + 1) * dna_length])
+        parts.append(spacer_block)
+    return b"".join(parts)[:total_length]

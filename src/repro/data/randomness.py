@@ -1,0 +1,78 @@
+"""Compression-based randomness testing of DNA windows.
+
+The paper (Section V-A footnote) checks that real sequencing reads
+behave like random DNA by compressing 32 KiB windows with ``bzip2 -9``
+and comparing against the naive 2 bits/character bound: windows above
+~2.1 bits/char are effectively random.
+
+``bzip2`` is not available as a from-scratch dependency here, so we
+substitute an adaptive order-2 context model with add-one smoothing —
+like bzip2's BWT+MTF stage it exploits short-range correlations, and
+on DNA it gives the same verdicts (random DNA measures ~2.0+ bits/char,
+repetitive DNA well below; validated in the test suite).  See DESIGN.md
+("substitutions").
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["entropy_bits_per_char", "is_random_like", "window_entropies"]
+
+
+def entropy_bits_per_char(data: bytes, order: int = 2) -> float:
+    """Adaptive order-``k`` context-model code length, in bits/char.
+
+    Each byte is coded with probability ``(count(ctx, byte) + 1) /
+    (count(ctx) + alphabet)`` under its preceding ``order``-byte
+    context, counts updating online — i.e. the ideal code length of a
+    simple PPM-style compressor, no compressed output materialised.
+    """
+    if not data:
+        return 0.0
+    if order < 0:
+        raise ValueError("order must be >= 0")
+    # Map bytes to a dense alphabet for small contexts.
+    arr = np.frombuffer(data, dtype=np.uint8)
+    symbols, dense = np.unique(arr, return_inverse=True)
+    k = len(symbols)
+
+    counts: dict[tuple, np.ndarray] = {}
+    total_bits = 0.0
+    ctx: tuple = ()
+    log2 = math.log2
+    dense_list = dense.tolist()
+    for sym in dense_list:
+        table = counts.get(ctx)
+        if table is None:
+            table = np.zeros(k, dtype=np.int64)
+            counts[ctx] = table
+        seen = int(table.sum())
+        p = (int(table[sym]) + 1) / (seen + k)
+        total_bits -= log2(p)
+        table[sym] += 1
+        if order:
+            ctx = (ctx + (sym,))[-order:]
+    return total_bits / len(data)
+
+
+def is_random_like(data: bytes, threshold: float = 2.1, order: int = 2) -> bool:
+    """The paper's verdict: window compresses above ``threshold`` bits/char.
+
+    For 4-letter DNA the naive bound is 2 bits/char; measuring at or
+    above ~2.1 with a context model means no exploitable structure.
+    """
+    return entropy_bits_per_char(data, order) >= threshold
+
+
+def window_entropies(data: bytes, window: int = 32768, order: int = 2) -> np.ndarray:
+    """bits/char of each non-overlapping ``window``-byte slice."""
+    out = []
+    for start in range(0, len(data), window):
+        chunk = data[start : start + window]
+        if len(chunk) < window // 4:
+            break
+        out.append(entropy_bits_per_char(chunk, order))
+    return np.asarray(out, dtype=np.float64)

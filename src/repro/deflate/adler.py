@@ -1,0 +1,30 @@
+"""Adler-32 checksum (RFC 1950), used by the zlib container format."""
+
+from __future__ import annotations
+
+__all__ = ["adler32"]
+
+_MOD = 65521
+# Largest n such that 255*n*(n+1)/2 + (n+1)*(MOD-1) stays under 2**32:
+# lets us defer the modulo reduction for speed.
+_NMAX = 5552
+
+
+def adler32(data: bytes, value: int = 1) -> int:
+    """Update an Adler-32 checksum with ``data``.
+
+    Matches :func:`zlib.adler32` (initial value 1), verified by tests.
+    """
+    a = value & 0xFFFF
+    b = (value >> 16) & 0xFFFF
+    pos = 0
+    n = len(data)
+    while pos < n:
+        chunk = data[pos : pos + _NMAX]
+        pos += _NMAX
+        for byte in chunk:
+            a += byte
+            b += a
+        a %= _MOD
+        b %= _MOD
+    return (b << 16) | a

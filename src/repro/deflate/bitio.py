@@ -1,0 +1,231 @@
+"""LSB-first bit stream reader/writer (RFC 1951 packing).
+
+DEFLATE packs data elements starting from the least-significant bit of
+each byte, while Huffman codes are packed starting from the
+most-significant bit *of the code* (i.e. the code must be bit-reversed
+before LSB-first emission; the decoder tables in :mod:`repro.deflate.huffman`
+are built over reversed patterns so the reader side never reverses).
+
+:class:`BitReader` supports addressing arbitrary *bit* positions, which
+is what makes exhaustive block-start probing (Section VI-A of the paper)
+possible: a probe simply constructs a reader at bit offset ``b`` and
+attempts to decode a block.
+
+Performance notes (this is the innermost layer of a pure-Python inflate):
+
+* the reader keeps up to 57 buffered bits in a Python int and refills
+  8 bytes at a time with ``int.from_bytes``;
+* hot loops in :mod:`repro.deflate.inflate` access the ``_bitbuf`` /
+  ``_bitcount`` attributes directly instead of calling methods — the
+  attributes are a stable, documented internal API;
+* peeking past the end of the stream zero-pads (like zlib), but
+  *consuming* past the end raises :class:`~repro.errors.BitstreamError`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BitstreamError
+
+__all__ = ["BitReader", "BitWriter", "reverse_bits"]
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Reverse the lowest ``width`` bits of ``value``.
+
+    Used to convert canonical (MSB-first) Huffman codes into the
+    LSB-first patterns that appear in the byte stream.
+    """
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+class BitReader:
+    """Read bits LSB-first from a ``bytes``-like object.
+
+    Parameters
+    ----------
+    data:
+        The underlying byte buffer (``bytes``, ``bytearray`` or
+        ``memoryview``).  It is not copied.
+    start_bit:
+        Absolute bit offset at which reading starts (bit 0 is the
+        least-significant bit of ``data[0]``).
+    """
+
+    __slots__ = ("_data", "_nbytes", "_pos", "_bitbuf", "_bitcount", "_total_bits")
+
+    def __init__(self, data, start_bit: int = 0) -> None:
+        if isinstance(data, memoryview):
+            data = data.tobytes()
+        self._data = data
+        self._nbytes = len(data)
+        self._total_bits = 8 * self._nbytes
+        if start_bit < 0 or start_bit > self._total_bits:
+            raise BitstreamError(
+                f"start_bit {start_bit} outside stream of {self._total_bits} bits"
+            )
+        self._pos = start_bit >> 3
+        self._bitbuf = 0
+        self._bitcount = 0
+        skew = start_bit & 7
+        if skew:
+            self._refill()
+            # Drop the bits below the requested offset.
+            self._bitbuf >>= skew
+            self._bitcount -= skew
+
+    # -- position ----------------------------------------------------------
+
+    @property
+    def total_bits(self) -> int:
+        """Total number of bits in the underlying buffer."""
+        return self._total_bits
+
+    def tell_bits(self) -> int:
+        """Absolute bit position of the next unread bit."""
+        return 8 * self._pos - self._bitcount
+
+    def bits_remaining(self) -> int:
+        """Number of bits between the cursor and the end of the buffer."""
+        return self._total_bits - self.tell_bits()
+
+    # -- refill ------------------------------------------------------------
+
+    def _refill(self) -> None:
+        """Top the bit buffer up to >= 57 bits (or to end of data)."""
+        pos = self._pos
+        data = self._data
+        n = self._nbytes
+        bitcount = self._bitcount
+        bitbuf = self._bitbuf
+        take = min((63 - bitcount) >> 3, n - pos)
+        if take > 0:
+            chunk = int.from_bytes(data[pos : pos + take], "little")
+            bitbuf |= chunk << bitcount
+            bitcount += take << 3
+            pos += take
+        self._pos = pos
+        self._bitbuf = bitbuf
+        self._bitcount = bitcount
+
+    # -- core operations ----------------------------------------------------
+
+    def peek(self, nbits: int) -> int:
+        """Return the next ``nbits`` bits without consuming them.
+
+        Bits beyond the end of the stream read as zero (the caller is
+        responsible for not *consuming* them).
+        """
+        if self._bitcount < nbits:
+            self._refill()
+        return self._bitbuf & ((1 << nbits) - 1)
+
+    def consume(self, nbits: int) -> None:
+        """Discard ``nbits`` bits (which must have been peeked)."""
+        if nbits > self._bitcount:
+            # peek() zero-padded past the end; consuming that far is an error
+            if nbits > self._bitcount + 8 * (self._nbytes - self._pos):
+                raise BitstreamError("consumed past end of bit stream")
+            self._refill()
+        self._bitbuf >>= nbits
+        self._bitcount -= nbits
+
+    def read(self, nbits: int) -> int:
+        """Read and consume ``nbits`` bits (0 <= nbits <= 57)."""
+        if self._bitcount < nbits:
+            self._refill()
+            if self._bitcount < nbits:
+                raise BitstreamError(
+                    f"requested {nbits} bits with only {self._bitcount} available"
+                )
+        value = self._bitbuf & ((1 << nbits) - 1)
+        self._bitbuf >>= nbits
+        self._bitcount -= nbits
+        return value
+
+    def align_to_byte(self) -> None:
+        """Discard bits up to the next byte boundary."""
+        drop = self.tell_bits() & 7
+        if drop:
+            self.consume(8 - drop)
+
+    def read_bytes(self, nbytes: int) -> bytes:
+        """Read ``nbytes`` aligned bytes (the cursor must be byte-aligned)."""
+        if self.tell_bits() & 7:
+            raise BitstreamError("read_bytes requires byte alignment")
+        # Flush buffered whole bytes back into a byte position.
+        start = self.tell_bits() >> 3
+        end = start + nbytes
+        if end > self._nbytes:
+            raise BitstreamError("read_bytes past end of stream")
+        out = self._data[start:end]
+        # Re-seat the cursor after the raw bytes.
+        self._pos = end
+        self._bitbuf = 0
+        self._bitcount = 0
+        return bytes(out)
+
+    def seek_bits(self, bit_offset: int) -> None:
+        """Reposition the cursor at an absolute bit offset."""
+        if bit_offset < 0 or bit_offset > self._total_bits:
+            raise BitstreamError(f"seek to {bit_offset} outside stream")
+        self._pos = bit_offset >> 3
+        self._bitbuf = 0
+        self._bitcount = 0
+        skew = bit_offset & 7
+        if skew:
+            self._refill()
+            self._bitbuf >>= skew
+            self._bitcount -= skew
+
+
+class BitWriter:
+    """Accumulate bits LSB-first into a growable byte buffer."""
+
+    __slots__ = ("_out", "_bitbuf", "_bitcount")
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self._bitbuf = 0
+        self._bitcount = 0
+
+    def write(self, value: int, nbits: int) -> None:
+        """Append the lowest ``nbits`` bits of ``value``."""
+        if nbits < 0 or value >> nbits:
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        self._bitbuf |= value << self._bitcount
+        self._bitcount += nbits
+        while self._bitcount >= 8:
+            self._out.append(self._bitbuf & 0xFF)
+            self._bitbuf >>= 8
+            self._bitcount -= 8
+
+    def write_reversed(self, code: int, nbits: int) -> None:
+        """Append a canonical Huffman code (MSB-first semantics)."""
+        self.write(reverse_bits(code, nbits), nbits)
+
+    def align_to_byte(self, fill: int = 0) -> None:
+        """Pad with ``fill`` bits (0 or 1) to the next byte boundary."""
+        if self._bitcount:
+            pad = 8 - self._bitcount
+            self.write((1 << pad) - 1 if fill else 0, pad)
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append raw bytes (the cursor must be byte-aligned)."""
+        if self._bitcount:
+            raise ValueError("write_bytes requires byte alignment")
+        self._out += data
+
+    def tell_bits(self) -> int:
+        """Number of bits written so far."""
+        return 8 * len(self._out) + self._bitcount
+
+    def getvalue(self) -> bytes:
+        """Return the written stream, zero-padding the final partial byte."""
+        out = bytes(self._out)
+        if self._bitcount:
+            out += bytes([self._bitbuf & 0xFF])
+        return out

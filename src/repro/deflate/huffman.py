@@ -1,0 +1,253 @@
+"""Canonical Huffman coding for DEFLATE alphabets.
+
+Three pieces live here:
+
+* :func:`canonical_codes` — the RFC 1951 code-assignment algorithm
+  (``bl_count`` / ``next_code``) with over/under-subscription checks;
+* :class:`HuffmanDecoder` — a flat lookup table indexed by the next
+  ``max_bits`` bits of the stream (LSB-first, i.e. over *bit-reversed*
+  canonical codes), decoding any symbol with one table load; this is the
+  decoder used by both the byte-domain and the marker-domain inflate;
+* :func:`limited_code_lengths` — optimal length-limited Huffman code
+  construction via the package-merge algorithm, used by the compressor
+  (litlen/dist codes are capped at 15 bits, the code-length code at 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.deflate.bitio import BitReader, reverse_bits
+from repro.errors import HuffmanError
+
+__all__ = [
+    "canonical_codes",
+    "kraft_sum",
+    "HuffmanDecoder",
+    "HuffmanEncoder",
+    "limited_code_lengths",
+]
+
+
+def kraft_sum(lengths) -> int:
+    """Kraft sum scaled by ``2**max_bits`` over nonzero lengths.
+
+    A complete prefix code over ``max_bits``-bit codes sums to exactly
+    ``2**max_bits``; larger means over-subscribed (not a prefix code).
+    """
+    nonzero = [l for l in lengths if l > 0]
+    if not nonzero:
+        return 0, 0
+    max_bits = max(nonzero)
+    return sum(1 << (max_bits - l) for l in nonzero), max_bits
+
+
+def canonical_codes(lengths) -> list[int]:
+    """Assign canonical (MSB-first) codes to symbols from code lengths.
+
+    Returns a list aligned with ``lengths``; entries for zero-length
+    symbols are 0 and must not be used.  Raises
+    :class:`~repro.errors.HuffmanError` if the lengths over-subscribe
+    the code space.
+    """
+    lengths = list(lengths)
+    if not lengths:
+        return []
+    max_bits = max(lengths)
+    if max_bits == 0:
+        return [0] * len(lengths)
+
+    bl_count = [0] * (max_bits + 1)
+    for l in lengths:
+        if l < 0:
+            raise HuffmanError(f"negative code length {l}")
+        bl_count[l] += 1
+    bl_count[0] = 0
+
+    code = 0
+    next_code = [0] * (max_bits + 1)
+    for bits in range(1, max_bits + 1):
+        code = (code + bl_count[bits - 1]) << 1
+        next_code[bits] = code
+        if code + bl_count[bits] > (1 << bits):
+            raise HuffmanError("over-subscribed code lengths")
+
+    codes = [0] * len(lengths)
+    for sym, l in enumerate(lengths):
+        if l:
+            codes[sym] = next_code[l]
+            next_code[l] += 1
+    return codes
+
+
+class HuffmanDecoder:
+    """Flat-table decoder for a canonical Huffman code.
+
+    The table maps every possible ``max_bits``-bit LSB-first window of
+    the stream to a packed entry ``(symbol << 4) | code_length``; entry
+    0 marks an undecodable pattern.  Decoding is: peek ``max_bits``,
+    index, consume ``entry & 15``.
+
+    Parameters
+    ----------
+    lengths:
+        Code length per symbol (0 = symbol absent).
+    allow_incomplete:
+        Accept an under-subscribed code.  RFC 1951 permits this only
+        for degenerate distance codes (a single distance symbol may be
+        encoded in one bit); the strict probing decoder passes ``False``
+        everywhere except that case.
+    """
+
+    __slots__ = ("table", "max_bits", "num_symbols", "complete")
+
+    def __init__(self, lengths, allow_incomplete: bool = False) -> None:
+        lengths = list(lengths)
+        nonzero = [l for l in lengths if l > 0]
+        if not nonzero:
+            raise HuffmanError("no symbols in code")
+        self.num_symbols = len(nonzero)
+        max_bits = max(nonzero)
+        self.max_bits = max_bits
+
+        ksum, _ = kraft_sum(lengths)
+        full = 1 << max_bits
+        if ksum > full:
+            raise HuffmanError("over-subscribed code lengths")
+        self.complete = ksum == full
+        if not self.complete and not allow_incomplete:
+            raise HuffmanError("incomplete code lengths")
+
+        codes = canonical_codes(lengths)
+        size = 1 << max_bits
+        table = np.zeros(size, dtype=np.uint32)
+        for sym, l in enumerate(lengths):
+            if l == 0:
+                continue
+            rev = reverse_bits(codes[sym], l)
+            table[rev::1 << l] = (sym << 4) | l
+        # Python list indexing beats numpy scalar indexing in the
+        # per-symbol decode loop.
+        self.table = table.tolist()
+
+    def decode(self, reader: BitReader) -> int:
+        """Decode one symbol from ``reader``."""
+        entry = self.table[reader.peek(self.max_bits)]
+        length = entry & 15
+        if length == 0:
+            raise HuffmanError("invalid Huffman code in stream")
+        reader.consume(length)
+        return entry >> 4
+
+
+class HuffmanEncoder:
+    """Encoder companion: pre-reversed codes ready for LSB-first emission."""
+
+    __slots__ = ("lengths", "reversed_codes")
+
+    def __init__(self, lengths) -> None:
+        self.lengths = list(lengths)
+        codes = canonical_codes(self.lengths)
+        self.reversed_codes = [
+            reverse_bits(codes[sym], l) if l else 0
+            for sym, l in enumerate(self.lengths)
+        ]
+
+    def write(self, writer, symbol: int) -> None:
+        """Emit ``symbol``'s code into ``writer``."""
+        length = self.lengths[symbol]
+        if length == 0:
+            raise HuffmanError(f"symbol {symbol} has no code")
+        writer.write(self.reversed_codes[symbol], length)
+
+    def cost_bits(self, symbol: int) -> int:
+        """Code length of ``symbol`` (0 if absent)."""
+        return self.lengths[symbol]
+
+
+# ---------------------------------------------------------------------------
+# Length-limited Huffman (package-merge)
+# ---------------------------------------------------------------------------
+
+
+def _package_merge(weights: list[int], max_bits: int) -> list[int]:
+    """Package-merge over pre-sorted positive weights.
+
+    Returns the optimal code length for each weight (aligned with the
+    input, which must be sorted ascending), all lengths <= ``max_bits``.
+    """
+    n = len(weights)
+    # Leaf nodes: (weight, unique_id, symbol_rank_or_children)
+    leaves = [(w, i, i) for i, w in enumerate(weights)]
+    uid = n
+
+    level = list(leaves)
+    for _ in range(max_bits - 1):
+        packages = []
+        for k in range(0, len(level) - 1, 2):
+            a, b = level[k], level[k + 1]
+            packages.append((a[0] + b[0], uid, (a, b)))
+            uid += 1
+        # Merge leaves and packages, both already sorted by weight.
+        merged = []
+        i = j = 0
+        while i < n and j < len(packages):
+            if leaves[i][0] <= packages[j][0]:
+                merged.append(leaves[i])
+                i += 1
+            else:
+                merged.append(packages[j])
+                j += 1
+        merged.extend(leaves[i:])
+        merged.extend(packages[j:])
+        level = merged
+
+    lengths = [0] * n
+    # The optimal length-limited code corresponds to the cheapest
+    # 2n - 2 items of the final level; each leaf occurrence adds one
+    # bit to that symbol's code length.
+    stack = list(level[: 2 * n - 2])
+    while stack:
+        node = stack.pop()
+        payload = node[2]
+        if isinstance(payload, tuple):
+            stack.append(payload[0])
+            stack.append(payload[1])
+        else:
+            lengths[payload] += 1
+    return lengths
+
+
+def limited_code_lengths(freqs, max_bits: int) -> list[int]:
+    """Optimal prefix-code lengths with every code <= ``max_bits`` bits.
+
+    Zero-frequency symbols get length 0.  Degenerate inputs follow the
+    zlib conventions the DEFLATE format requires:
+
+    * no used symbols -> all lengths 0 (the caller substitutes the
+      degenerate one-symbol code the format demands);
+    * one used symbol -> that symbol gets length 1.
+    """
+    freqs = list(freqs)
+    used = [(f, i) for i, f in enumerate(freqs) if f > 0]
+    lengths = [0] * len(freqs)
+    if not used:
+        return lengths
+    if len(used) == 1:
+        lengths[used[0][1]] = 1
+        return lengths
+    if (1 << max_bits) < len(used):
+        raise HuffmanError(
+            f"cannot code {len(used)} symbols within {max_bits} bits"
+        )
+    used.sort()
+    sorted_weights = [f for f, _ in used]
+    sorted_lengths = _package_merge(sorted_weights, max_bits)
+    for (_, sym), l in zip(used, sorted_lengths):
+        lengths[sym] = l
+    return lengths
+
+
+def huffman_cost_bits(freqs, lengths) -> int:
+    """Total encoded size in bits of ``freqs`` under ``lengths``."""
+    return sum(f * l for f, l in zip(freqs, lengths) if f)

@@ -1,0 +1,439 @@
+"""DEFLATE decompression (RFC 1951), byte domain.
+
+This is the reproduction's ``gunzip``-role decoder: a complete inflate
+supporting stored, fixed-Huffman and dynamic-Huffman blocks, decoding
+from **any bit offset** (the capability block-start probing relies on),
+with optional
+
+* a pre-seeded 32 KiB window (decompression resuming at a block
+  boundary with known context — the second phase of random access);
+* token-stream capture (:mod:`repro.deflate.tokens`) for the paper's
+  offset/length statistics;
+* strict probe checks from Appendix X-A (ASCII-only output, plausible
+  block sizes), used by :mod:`repro.core.sync`.
+
+The marker-domain decoder in :mod:`repro.core.marker_inflate` shares the
+block-header machinery exported here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.deflate import constants as C
+from repro.deflate.bitio import BitReader
+from repro.deflate.huffman import HuffmanDecoder
+from repro.deflate.tokens import TokenStream
+from repro.errors import (
+    AsciiCheckError,
+    BackrefError,
+    BitstreamError,
+    BlockHeaderError,
+    BlockSizeError,
+    HuffmanError,
+)
+
+__all__ = [
+    "BlockHeader",
+    "BlockInfo",
+    "InflateResult",
+    "read_block_header",
+    "inflate",
+    "inflate_bytes",
+]
+
+# Fixed-code decoders are stateless; build them once.
+_FIXED_LITLEN = HuffmanDecoder(C.fixed_litlen_lengths())
+_FIXED_DIST = HuffmanDecoder(C.fixed_dist_lengths(), allow_incomplete=True)
+
+
+@dataclass
+class BlockHeader:
+    """Decoded header of one DEFLATE block."""
+
+    bfinal: bool
+    btype: int
+    #: Litlen decoder for compressed blocks, ``None`` for stored blocks.
+    litlen: HuffmanDecoder | None = None
+    #: Distance decoder; ``None`` when the block declares no distance
+    #: codes (it must then contain no matches).
+    dist: HuffmanDecoder | None = None
+    #: For stored blocks: payload length in bytes.
+    stored_len: int = 0
+
+
+@dataclass
+class BlockInfo:
+    """Where a block sits in the compressed and decompressed streams."""
+
+    start_bit: int
+    end_bit: int
+    out_start: int
+    out_end: int
+    btype: int
+    bfinal: bool
+
+
+@dataclass
+class InflateResult:
+    """Output of :func:`inflate`."""
+
+    data: bytes
+    end_bit: int
+    final_seen: bool
+    blocks: list[BlockInfo] = field(default_factory=list)
+    tokens: TokenStream | None = None
+    #: Strict (probing) mode only: the confirmation run reached the
+    #: stream's BFINAL block and decoded it cleanly (content checks
+    #: applied; only the minimum-size bound is waived for it) — the
+    #: strongest confirmation available near the end of a stream.
+    hit_final_probe: bool = False
+
+    @property
+    def window(self) -> bytes:
+        """Last 32 KiB of output — the context for whatever follows."""
+        return self.data[-C.WINDOW_SIZE:]
+
+
+def _read_dynamic_tables(reader: BitReader, strict: bool) -> tuple[HuffmanDecoder, HuffmanDecoder | None]:
+    """Decode an RFC 1951 dynamic block preamble into decoders."""
+    hlit = reader.read(5) + 257
+    hdist = reader.read(5) + 1
+    hclen = reader.read(4) + 4
+    if hlit > 286:
+        raise BlockHeaderError(f"HLIT {hlit} exceeds 286")
+    if hdist > 30:
+        # Codes 30/31 can never appear in a valid stream; a header that
+        # declares them is rejected (helps probing fail fast).
+        raise BlockHeaderError(f"HDIST {hdist} exceeds 30")
+
+    clen_lengths = [0] * 19
+    for i in range(hclen):
+        clen_lengths[C.CODELEN_ORDER[i]] = reader.read(3)
+    clen_decoder = HuffmanDecoder(clen_lengths)  # must be complete
+
+    # Decode HLIT + HDIST code lengths as one run (repeats may cross
+    # the litlen/dist boundary, per the RFC).
+    total = hlit + hdist
+    lengths = [0] * total
+    i = 0
+    prev = -1
+    while i < total:
+        sym = clen_decoder.decode(reader)
+        if sym < 16:
+            lengths[i] = sym
+            prev = sym
+            i += 1
+        elif sym == C.CLEN_COPY_PREV:
+            if prev < 0:
+                raise BlockHeaderError("repeat code with no previous length")
+            count = 3 + reader.read(2)
+            if i + count > total:
+                raise BlockHeaderError("code length repeat overruns table")
+            for _ in range(count):
+                lengths[i] = prev
+                i += 1
+        elif sym == C.CLEN_ZERO_SHORT:
+            count = 3 + reader.read(3)
+            if i + count > total:
+                raise BlockHeaderError("zero-run overruns table")
+            i += count
+            prev = 0
+        else:  # CLEN_ZERO_LONG
+            count = 11 + reader.read(7)
+            if i + count > total:
+                raise BlockHeaderError("zero-run overruns table")
+            i += count
+            prev = 0
+
+    litlen_lengths = lengths[:hlit]
+    dist_lengths = lengths[hlit:]
+
+    if litlen_lengths[C.END_OF_BLOCK] == 0:
+        raise BlockHeaderError("litlen code lacks end-of-block symbol")
+    litlen = HuffmanDecoder(litlen_lengths)  # complete required
+
+    n_dist = sum(1 for l in dist_lengths if l)
+    if n_dist == 0:
+        dist = None
+    else:
+        # RFC permits an incomplete distance code only in the
+        # one-symbol degenerate case.
+        dist = HuffmanDecoder(dist_lengths, allow_incomplete=(n_dist == 1))
+    return litlen, dist
+
+
+def read_block_header(reader: BitReader, strict: bool = False) -> BlockHeader:
+    """Read one block header starting at the reader's current bit.
+
+    In ``strict`` mode (block-start probing) a final block is rejected:
+    the probe never targets the very last block of a stream, and real
+    mid-file blocks always have BFINAL=0 (Appendix X-A).
+    """
+    bfinal = bool(reader.read(1))
+    if strict and bfinal:
+        raise BlockHeaderError("probe rejects BFINAL=1")
+    btype = reader.read(2)
+    if btype == C.BTYPE_RESERVED:
+        raise BlockHeaderError("reserved BTYPE 3")
+
+    if btype == C.BTYPE_STORED:
+        reader.align_to_byte()
+        if reader.bits_remaining() < 32:
+            raise BitstreamError("truncated stored-block header")
+        length = reader.read(16)
+        nlen = reader.read(16)
+        if length ^ nlen != 0xFFFF:
+            raise BlockHeaderError("stored block LEN/NLEN mismatch")
+        return BlockHeader(bfinal, btype, stored_len=length)
+
+    if btype == C.BTYPE_FIXED:
+        return BlockHeader(bfinal, btype, litlen=_FIXED_LITLEN, dist=_FIXED_DIST)
+
+    litlen, dist = _read_dynamic_tables(reader, strict)
+    return BlockHeader(bfinal, btype, litlen=litlen, dist=dist)
+
+
+def inflate(
+    data,
+    start_bit: int = 0,
+    window: bytes = b"",
+    strict: bool = False,
+    capture_tokens: bool = False,
+    max_blocks: int | None = None,
+    max_output: int | None = None,
+    stop_at_final: bool = True,
+) -> InflateResult:
+    """Decompress a raw DEFLATE stream.
+
+    Parameters
+    ----------
+    data:
+        Buffer holding the compressed stream.
+    start_bit:
+        Bit offset of the first block header.
+    window:
+        Up to 32 KiB of decompressed history preceding ``start_bit``
+        (used when resuming mid-stream with known context).
+    strict:
+        Apply the Appendix X-A probe checks: reject BFINAL=1 headers,
+        non-ASCII output bytes, back-references beyond the available
+        history *plus* assumed context, and implausible block sizes.
+    capture_tokens:
+        Record the decoded LZ77 token stream in the result.
+    max_blocks / max_output:
+        Stop after this many blocks / output bytes (both soft limits
+        checked at block boundaries, except the strict 4 MiB in-block
+        size guard).
+    stop_at_final:
+        Stop after a BFINAL=1 block (set ``False`` to keep decoding a
+        concatenation of streams, which callers split themselves).
+
+    Returns
+    -------
+    InflateResult
+        Decompressed bytes (excluding the seeded window), the bit
+        position just past the last decoded block, and per-block info.
+    """
+    if len(window) > C.WINDOW_SIZE:
+        window = window[-C.WINDOW_SIZE:]
+    reader = BitReader(data, start_bit)
+    out = bytearray(window)
+    prefix = len(out)
+    tokens = TokenStream() if capture_tokens else None
+    blocks: list[BlockInfo] = []
+    final_seen = False
+    hit_final_probe = False
+
+    ascii_mask = C.ASCII_MASK if strict else None
+    lbase = C.LENGTH_BASE
+    lextra = C.LENGTH_EXTRA_BITS
+    dbase = C.DIST_BASE
+    dextra = C.DIST_EXTRA_BITS
+
+    while True:
+        if max_blocks is not None and len(blocks) >= max_blocks:
+            break
+        if max_output is not None and len(out) - prefix >= max_output:
+            break
+        if reader.bits_remaining() < 3:
+            if strict:
+                raise BitstreamError("ran out of input at block header")
+            break
+        final_probe_block = bool(strict and blocks and reader.peek(1) == 1)
+        # The candidate block itself must not be final (a probe never
+        # targets the stream's last block), but running into the final
+        # block *while confirming* is a natural success — provided the
+        # final block itself decodes cleanly, which we verify below
+        # (content checks still apply; only the BFINAL rejection and
+        # the minimum-size bound are waived for it).
+
+        block_start_bit = reader.tell_bits()
+        header = read_block_header(reader, strict=strict and not final_probe_block)
+        out_start = len(out)
+
+        if header.btype == C.BTYPE_STORED:
+            chunk = reader.read_bytes(header.stored_len)
+            if strict:
+                if not all(C.ASCII_MASK[b] for b in chunk):
+                    raise AsciiCheckError("stored block contains non-ASCII byte")
+            out += chunk
+            if tokens is not None:
+                for b in chunk:
+                    tokens.add_literal(b)
+        else:
+            _decode_huffman_block(
+                reader, header, out, tokens, ascii_mask, lbase, lextra, dbase, dextra,
+                strict=strict,
+            )
+
+        out_end = len(out)
+        if strict:
+            size = out_end - out_start
+            min_size = 0 if final_probe_block else C.PROBE_MIN_BLOCK
+            if size < min_size or size > C.PROBE_MAX_BLOCK:
+                raise BlockSizeError(
+                    f"block size {size} outside [{min_size}, {C.PROBE_MAX_BLOCK}]"
+                )
+        blocks.append(
+            BlockInfo(
+                start_bit=block_start_bit,
+                end_bit=reader.tell_bits(),
+                out_start=out_start - prefix,
+                out_end=out_end - prefix,
+                btype=header.btype,
+                bfinal=header.bfinal,
+            )
+        )
+        if header.bfinal:
+            final_seen = True
+            if final_probe_block:
+                hit_final_probe = True
+            if stop_at_final:
+                break
+
+    return InflateResult(
+        data=bytes(out[prefix:]),
+        end_bit=reader.tell_bits(),
+        final_seen=final_seen,
+        blocks=blocks,
+        tokens=tokens,
+        hit_final_probe=hit_final_probe,
+    )
+
+
+def _decode_huffman_block(
+    reader: BitReader,
+    header: BlockHeader,
+    out: bytearray,
+    tokens: TokenStream | None,
+    ascii_mask,
+    lbase,
+    lextra,
+    dbase,
+    dextra,
+    strict: bool,
+) -> None:
+    """Decode the symbol stream of one fixed/dynamic block into ``out``.
+
+    This is the hot loop of the whole library; it reaches into the
+    reader's internals to avoid method-call overhead per symbol.
+    """
+    litlen = header.litlen
+    dist = header.dist
+    lit_table = litlen.table
+    lit_bits = litlen.max_bits
+    dist_table = dist.table if dist is not None else None
+    dist_bits = dist.max_bits if dist is not None else 0
+
+    block_start = len(out)
+    # In strict probing mode the decoder assumes an (unknown) 32 KiB
+    # context exists before the block, exactly like the paper's checks:
+    # a back-reference is invalid only if it exceeds window + history.
+    history_bonus = C.WINDOW_SIZE if strict else 0
+    max_block = C.PROBE_MAX_BLOCK
+
+    while True:
+        # -- decode litlen symbol (inlined HuffmanDecoder.decode) --
+        if reader._bitcount < lit_bits:
+            reader._refill()
+        entry = lit_table[reader._bitbuf & ((1 << lit_bits) - 1)]
+        nbits = entry & 15
+        if nbits == 0:
+            raise HuffmanError("invalid litlen code")
+        if nbits > reader._bitcount:
+            raise BitstreamError("litlen code past end of stream")
+        reader._bitbuf >>= nbits
+        reader._bitcount -= nbits
+        sym = entry >> 4
+
+        if sym < 256:
+            if ascii_mask is not None and not ascii_mask[sym]:
+                raise AsciiCheckError(f"non-ASCII literal {sym}")
+            out.append(sym)
+            if tokens is not None:
+                tokens.add_literal(sym)
+            if strict and len(out) - block_start > max_block:
+                raise BlockSizeError("block exceeds 4 MiB probe limit")
+            continue
+        if sym == C.END_OF_BLOCK:
+            return
+
+        # -- match length --
+        if sym > C.MAX_USED_LITLEN:
+            raise HuffmanError(f"invalid length symbol {sym}")
+        idx = sym - 257
+        extra = lextra[idx]
+        length = lbase[idx] + (reader.read(extra) if extra else 0)
+
+        # -- distance --
+        if dist_table is None:
+            raise BackrefError("match in block that declared no distance codes")
+        if reader._bitcount < dist_bits:
+            reader._refill()
+        entry = dist_table[reader._bitbuf & ((1 << dist_bits) - 1)]
+        nbits = entry & 15
+        if nbits == 0:
+            raise HuffmanError("invalid distance code")
+        if nbits > reader._bitcount:
+            raise BitstreamError("distance code past end of stream")
+        reader._bitbuf >>= nbits
+        reader._bitcount -= nbits
+        dsym = entry >> 4
+        if dsym > C.MAX_USED_DIST:
+            raise HuffmanError(f"invalid distance symbol {dsym}")
+        dex = dextra[dsym]
+        distance = dbase[dsym] + (reader.read(dex) if dex else 0)
+
+        avail = len(out) + history_bonus
+        if distance > avail:
+            raise BackrefError(
+                f"distance {distance} exceeds available history {avail}"
+            )
+        if tokens is not None:
+            tokens.add_match(distance, length)
+
+        pos = len(out) - distance
+        if pos >= 0:
+            if distance >= length:
+                out += out[pos : pos + length]
+            else:
+                pattern = bytes(out[pos:])
+                reps = -(-length // distance)
+                out += (pattern * reps)[:length]
+        else:
+            # Strict mode only: the reference reaches into the unknown
+            # pre-block context.  Emit placeholder bytes ('?') — the
+            # probe only validates structure, not content.
+            unknown = min(length, -pos)
+            out += b"?" * unknown
+            remaining = length - unknown
+            for _ in range(remaining):
+                out.append(out[len(out) - distance])
+        if strict and len(out) - block_start > max_block:
+            raise BlockSizeError("block exceeds 4 MiB probe limit")
+
+
+def inflate_bytes(data, start_bit: int = 0, window: bytes = b"") -> bytes:
+    """Convenience wrapper: decompress and return only the bytes."""
+    return inflate(data, start_bit=start_bit, window=window).data

@@ -1,0 +1,298 @@
+"""LZ77 hash-chain matcher with zlib-compatible greedy and lazy parsing.
+
+The paper's random-access feasibility results hinge on a specific
+behaviour of gzip's parser: levels 1-3 use *greedy* parsing
+(``deflate_fast``) and on random DNA emit essentially no literals after
+the first window, while levels 4-9 use *lazy / non-greedy* parsing
+(``deflate_slow``, Algorithm 3 in the paper) which keeps emitting ~4 %
+literals forever.  To reproduce those phenomena with our own compressor
+this module mirrors zlib's algorithm precisely:
+
+* the per-level tuning table (``good_length``, ``max_lazy``,
+  ``nice_length``, ``max_chain``) is zlib's ``configuration_table``;
+* the maximum match distance is ``32768 - 262`` (zlib's ``MAX_DIST``),
+  which shapes the offset statistics (the paper's ``o_a``);
+* lazy evaluation follows ``deflate_slow``: a match at position *i* is
+  deferred; if position *i+1* finds a longer one, the byte at *i* is
+  emitted as a literal (exactly Algorithm 3);
+* a 3-byte match further than ``TOO_FAR`` (4096) is ignored, another
+  zlib rule that increases the literal rate on DNA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.deflate import constants as C
+from repro.deflate.tokens import TokenStream
+
+__all__ = ["LevelConfig", "LEVEL_CONFIGS", "Lz77Parser", "parse_lz77"]
+
+_HASH_BITS = 15
+_HASH_SIZE = 1 << _HASH_BITS
+_HASH_MASK = _HASH_SIZE - 1
+_HASH_SHIFT = 5
+_WMASK = C.WINDOW_SIZE - 1
+
+#: zlib's MIN_LOOKAHEAD: matches never start closer than this to the
+#: window edge, so the effective maximum distance is W - 262.
+_MIN_LOOKAHEAD = C.MAX_MATCH + C.MIN_MATCH + 1
+MAX_DIST = C.WINDOW_SIZE - _MIN_LOOKAHEAD
+
+#: zlib's TOO_FAR: a minimum-length match this far back costs more bits
+#: than three literals, so it is discarded.
+TOO_FAR = 4096
+
+
+@dataclass(frozen=True)
+class LevelConfig:
+    """Per-level matcher tuning (zlib's ``configuration_table``)."""
+
+    good_length: int  #: reduce chain search when previous match >= this
+    max_lazy: int     #: (lazy) don't search when previous match >= this;
+                      #: (fast) don't insert hash for matches longer than this
+    nice_length: int  #: stop chain search when a match >= this is found
+    max_chain: int    #: maximum hash-chain positions examined
+    lazy: bool        #: deflate_slow (non-greedy) vs deflate_fast (greedy)
+
+
+#: zlib's tuning table; levels 1-3 are greedy, 4-9 lazy — the split the
+#: paper's Section V-B highlights.
+LEVEL_CONFIGS: dict[int, LevelConfig] = {
+    1: LevelConfig(4, 4, 8, 4, lazy=False),
+    2: LevelConfig(4, 5, 16, 8, lazy=False),
+    3: LevelConfig(4, 6, 32, 32, lazy=False),
+    4: LevelConfig(4, 4, 16, 16, lazy=True),
+    5: LevelConfig(8, 16, 32, 32, lazy=True),
+    6: LevelConfig(8, 16, 128, 128, lazy=True),
+    7: LevelConfig(8, 32, 128, 256, lazy=True),
+    8: LevelConfig(32, 128, 258, 1024, lazy=True),
+    9: LevelConfig(32, 258, 258, 4096, lazy=True),
+}
+
+
+def _hash3(data, i: int) -> int:
+    """zlib's 3-byte rolling hash, computed directly."""
+    return ((data[i] << (2 * _HASH_SHIFT)) ^ (data[i + 1] << _HASH_SHIFT) ^ data[i + 2]) & _HASH_MASK
+
+
+class Lz77Parser:
+    """Single-shot LZ77 parser over an in-memory buffer.
+
+    Produces a :class:`~repro.deflate.tokens.TokenStream`; the entropy
+    coder in :mod:`repro.deflate.deflate` consumes it block by block.
+    """
+
+    def __init__(
+        self,
+        data: bytes,
+        level: int = 6,
+        min_match: int = C.MIN_MATCH,
+        dictionary: bytes = b"",
+    ) -> None:
+        if level not in LEVEL_CONFIGS:
+            raise ValueError(f"level must be 1-9, got {level}")
+        if not C.MIN_MATCH <= min_match <= C.MAX_MATCH:
+            raise ValueError(f"min_match must be in [3, 258], got {min_match}")
+        dictionary = bytes(dictionary)[-C.WINDOW_SIZE:]
+        #: Bytes of preset dictionary prepended to the parse buffer.
+        #: Matches may reach into it but tokens are only emitted for
+        #: the payload — this is how pigz-style parallel compression
+        #: keeps cross-chunk matches (zlib's deflateSetDictionary).
+        self.dict_len = len(dictionary)
+        self.data = dictionary + bytes(data)
+        self.config = LEVEL_CONFIGS[level]
+        self.level = level
+        #: Minimum accepted match length.  DEFLATE's floor is 3 (gzip,
+        #: zlib); fast "compression level: fastest" encoders common in
+        #: sequencing pipelines (e.g. Intel ISA-L igzip) use 8, which
+        #: makes their streams literal-rich — the weak-compressor
+        #: persona behind the paper's "lowest" Table I stratum.
+        self.min_match = min_match
+        self.head = [-1] * _HASH_SIZE
+        self.prev = [0] * C.WINDOW_SIZE
+        # Index the dictionary so payload positions can match into it.
+        for i in range(min(self.dict_len, len(self.data) - 2)):
+            self._insert(i)
+
+    # -- hash chain ---------------------------------------------------------
+
+    def _insert(self, i: int) -> int:
+        """Insert position ``i`` into the hash chain; return the previous head."""
+        h = _hash3(self.data, i)
+        cand = self.head[h]
+        self.prev[i & _WMASK] = cand
+        self.head[h] = i
+        return cand
+
+    def _longest_match(self, i: int, cur_match: int, prev_length: int) -> tuple[int, int]:
+        """zlib's ``longest_match``: best (length, distance) at ``i``.
+
+        ``prev_length`` seeds the best-so-far (lazy parsing only beats
+        the previous position's match if strictly longer).
+        """
+        data = self.data
+        cfg = self.config
+        chain = cfg.max_chain
+        if prev_length >= cfg.good_length:
+            chain >>= 2
+        best_len = prev_length
+        best_match = -1
+        limit = i - MAX_DIST if i > MAX_DIST else -1
+        max_len = min(C.MAX_MATCH, len(data) - i)
+        nice = min(cfg.nice_length, max_len)
+        if max_len < C.MIN_MATCH:
+            return 0, 0
+
+        scan_end = data[i + best_len] if best_len < max_len else -1
+        first0 = data[i]
+        first1 = data[i + 1]
+
+        while True:
+            m = cur_match
+            # Cheap pre-checks before the full prefix comparison.
+            if (
+                best_len >= max_len
+                or data[m + best_len] != scan_end
+                or data[m] != first0
+                or data[m + 1] != first1
+            ):
+                pass
+            else:
+                # Common-prefix length, widening by slice comparison.
+                n = 2
+                step = 16
+                while n + step <= max_len and data[m + n : m + n + step] == data[i + n : i + n + step]:
+                    n += step
+                while n < max_len and data[m + n] == data[i + n]:
+                    n += 1
+                if n > best_len:
+                    best_len = n
+                    best_match = m
+                    if n >= nice:
+                        break
+                    if best_len < max_len:
+                        scan_end = data[i + best_len]
+            chain -= 1
+            if chain == 0:
+                break
+            cur_match = self.prev[cur_match & _WMASK]
+            if cur_match <= limit or cur_match < 0 or cur_match >= m:
+                break
+
+        if best_match < 0 or best_len < C.MIN_MATCH:
+            return 0, 0
+        return best_len, i - best_match
+
+    # -- parsing strategies ---------------------------------------------------
+
+    def parse(self) -> TokenStream:
+        """Run the level-appropriate strategy over the whole buffer."""
+        if self.config.lazy:
+            return self._parse_lazy()
+        return self._parse_fast()
+
+    def _parse_fast(self) -> TokenStream:
+        """Greedy parsing (zlib ``deflate_fast``; gzip levels 1-3)."""
+        data = self.data
+        n = len(data)
+        cfg = self.config
+        tokens = TokenStream()
+        hash_limit = n - 2  # last position with 3 bytes to hash
+        i = self.dict_len
+        while i < n:
+            match_len = 0
+            match_dist = 0
+            if i < hash_limit:
+                cand = self._insert(i)
+                if cand >= 0 and i - cand <= MAX_DIST:
+                    match_len, match_dist = self._longest_match(i, cand, C.MIN_MATCH - 1)
+                    if match_len == C.MIN_MATCH and match_dist > TOO_FAR:
+                        # zlib's deflate_fast also drops minimum-length
+                        # matches that are too far back to pay off.
+                        match_len = 0
+                    if match_len < self.min_match:
+                        match_len = 0
+            if match_len >= C.MIN_MATCH:
+                tokens.add_match(match_dist, match_len)
+                if match_len <= cfg.max_lazy:
+                    # Insert every covered position into the chains.
+                    for j in range(i + 1, min(i + match_len, hash_limit)):
+                        self._insert(j)
+                i += match_len
+            else:
+                tokens.add_literal(data[i])
+                i += 1
+        return tokens
+
+    def _parse_lazy(self) -> TokenStream:
+        """Lazy / non-greedy parsing (zlib ``deflate_slow``; levels 4-9).
+
+        This is Algorithm 3 of the paper: a match found at ``i`` is held
+        back one position; if ``i+1`` yields a strictly longer match the
+        byte at ``i`` becomes a literal.
+        """
+        data = self.data
+        n = len(data)
+        cfg = self.config
+        tokens = TokenStream()
+        hash_limit = n - 2
+
+        match_available = False
+        prev_length = C.MIN_MATCH - 1
+        prev_dist = 0
+        i = self.dict_len
+        while i < n:
+            match_len = C.MIN_MATCH - 1
+            match_dist = 0
+            if i < hash_limit:
+                cand = self._insert(i)
+                if cand >= 0 and prev_length < cfg.max_lazy and i - cand <= MAX_DIST:
+                    match_len, match_dist = self._longest_match(i, cand, C.MIN_MATCH - 1)
+                    if match_len == C.MIN_MATCH and match_dist > TOO_FAR:
+                        # zlib: too-far minimum matches are worse than
+                        # literals; drop them.
+                        match_len = C.MIN_MATCH - 1
+                    if match_len < self.min_match:
+                        match_len = C.MIN_MATCH - 1
+
+            if prev_length >= C.MIN_MATCH and match_len <= prev_length:
+                # The previous position's match wins; emit it.
+                tokens.add_match(prev_dist, prev_length)
+                # Insert the covered positions (zlib skips the last two,
+                # which were / will be inserted by the main loop).
+                for j in range(i + 1, min(i + prev_length - 1, hash_limit)):
+                    self._insert(j)
+                i += prev_length - 1
+                match_available = False
+                prev_length = C.MIN_MATCH - 1
+            elif match_available:
+                # Previous byte loses to the new, longer match: literal.
+                tokens.add_literal(data[i - 1])
+                prev_length = match_len
+                prev_dist = match_dist
+                i += 1
+            else:
+                match_available = True
+                prev_length = match_len
+                prev_dist = match_dist
+                i += 1
+
+        if match_available:
+            tokens.add_literal(data[n - 1])
+        return tokens
+
+
+def parse_lz77(
+    data: bytes,
+    level: int = 6,
+    min_match: int = C.MIN_MATCH,
+    dictionary: bytes = b"",
+) -> TokenStream:
+    """Parse ``data`` into an LZ77 token stream at the given gzip level.
+
+    ``min_match`` > 3 selects the weak-compressor persona;
+    ``dictionary`` presets up to 32 KiB of match history (see
+    :class:`Lz77Parser`).
+    """
+    return Lz77Parser(data, level, min_match=min_match, dictionary=dictionary).parse()

@@ -1,0 +1,131 @@
+"""Token-stream representation of a DEFLATE block's LZ77 content.
+
+A *token* is either a literal byte or an (offset, length) match — the
+``mixed LZ77-style parsing`` of Definition 2 in the paper.  The inflate
+decoder can capture the token stream it decodes, and the analysis code
+(Section IV-C / V-D reproductions) derives the paper's statistics from
+it: the average match offset ``o_a``, the average match length ``l_a``,
+and the literal rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Token", "TokenStream", "TokenStats"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One LZ77 token.
+
+    ``offset == 0`` encodes a literal whose byte value is ``value``;
+    otherwise the token is a match of length ``value`` at distance
+    ``offset`` behind the cursor.
+    """
+
+    offset: int
+    value: int
+
+    @property
+    def is_literal(self) -> bool:
+        return self.offset == 0
+
+    @property
+    def length(self) -> int:
+        """Number of output bytes this token produces."""
+        return 1 if self.offset == 0 else self.value
+
+    @classmethod
+    def literal(cls, byte: int) -> "Token":
+        return cls(0, byte)
+
+    @classmethod
+    def match(cls, offset: int, length: int) -> "Token":
+        return cls(offset, length)
+
+
+@dataclass
+class TokenStats:
+    """Aggregate statistics of a token stream (Section IV-C quantities)."""
+
+    num_literals: int
+    num_matches: int
+    total_match_length: int
+    total_match_offset: int
+    output_length: int
+
+    @property
+    def mean_offset(self) -> float:
+        """The paper's ``o_a``: average match offset."""
+        return self.total_match_offset / self.num_matches if self.num_matches else 0.0
+
+    @property
+    def mean_length(self) -> float:
+        """The paper's ``l_a``: average match length."""
+        return self.total_match_length / self.num_matches if self.num_matches else 0.0
+
+    @property
+    def literal_fraction(self) -> float:
+        """Fraction of *output bytes* that came from literal tokens."""
+        return self.num_literals / self.output_length if self.output_length else 0.0
+
+
+class TokenStream:
+    """Growable sequence of tokens with columnar (numpy) export.
+
+    The decoder appends with :meth:`add_literal` / :meth:`add_match`;
+    analysis code reads the columnar views, which avoid creating one
+    Python object per token for multi-million-token streams.
+    """
+
+    __slots__ = ("_offsets", "_values")
+
+    def __init__(self) -> None:
+        self._offsets: list[int] = []
+        self._values: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._offsets)
+
+    def add_literal(self, byte: int) -> None:
+        self._offsets.append(0)
+        self._values.append(byte)
+
+    def add_match(self, offset: int, length: int) -> None:
+        self._offsets.append(offset)
+        self._values.append(length)
+
+    def __getitem__(self, i: int) -> Token:
+        return Token(self._offsets[i], self._values[i])
+
+    def __iter__(self):
+        for off, val in zip(self._offsets, self._values):
+            yield Token(off, val)
+
+    def offsets(self) -> np.ndarray:
+        """Match offsets (0 rows are literals)."""
+        return np.asarray(self._offsets, dtype=np.int32)
+
+    def values(self) -> np.ndarray:
+        """Literal bytes / match lengths, row-aligned with :meth:`offsets`."""
+        return np.asarray(self._values, dtype=np.int32)
+
+    def stats(self) -> TokenStats:
+        """Compute aggregate statistics in one vectorised pass."""
+        offsets = self.offsets()
+        values = self.values()
+        is_match = offsets > 0
+        num_matches = int(is_match.sum())
+        num_literals = len(offsets) - num_matches
+        total_len = int(values[is_match].sum()) if num_matches else 0
+        total_off = int(offsets[is_match].sum()) if num_matches else 0
+        return TokenStats(
+            num_literals=num_literals,
+            num_matches=num_matches,
+            total_match_length=total_len,
+            total_match_offset=total_off,
+            output_length=num_literals + total_len,
+        )

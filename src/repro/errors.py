@@ -1,0 +1,80 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause.  The
+DEFLATE-specific errors mirror the failure classes used by the block-start
+probing logic (Appendix X-A of the paper): a probe treats *any*
+:class:`DeflateError` raised while decoding a candidate block as "this bit
+offset is not a block start".
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class DeflateError(ReproError):
+    """Base class for DEFLATE stream format violations."""
+
+
+class BitstreamError(DeflateError):
+    """Ran off the end of the bit stream, or an invalid bit-level request."""
+
+
+class HuffmanError(DeflateError):
+    """Invalid Huffman code specification (over/under-subscribed lengths,
+
+    symbol count out of range, or an undecodable bit pattern).
+    """
+
+
+class BlockHeaderError(DeflateError):
+    """Invalid DEFLATE block header (reserved BTYPE, bad stored-block
+
+    LEN/NLEN complement, or malformed dynamic Huffman table preamble).
+    """
+
+
+class BackrefError(DeflateError):
+    """A match back-reference points before the start of available history
+
+    or its distance exceeds the 32 KiB window.
+    """
+
+
+class AsciiCheckError(DeflateError):
+    """Strict-mode decode produced a byte outside the allowed ASCII set.
+
+    Only raised by the probing decoder (Appendix X-A check); normal
+    decompression accepts arbitrary bytes.
+    """
+
+
+class BlockSizeError(DeflateError):
+    """Strict-mode decoded block size fell outside the plausible
+
+    [1 KiB, 4 MiB] range used to reject false-positive block starts.
+    """
+
+
+class GzipFormatError(ReproError):
+    """Invalid gzip (RFC 1952) or zlib (RFC 1950) container framing,
+
+    or a checksum/length mismatch in the trailer.
+    """
+
+
+class SyncError(ReproError):
+    """Block-start detection failed: no confirmed DEFLATE block was found
+
+    in the searched region.
+    """
+
+
+class RandomAccessError(ReproError):
+    """Random-access decompression could not produce the requested data
+
+    (e.g. no sequence-resolved block before end of file).
+    """

@@ -1,0 +1,5 @@
+"""Checkpoint index for gzip random access (paper related work, ref [11])."""
+
+from repro.index.zran import Checkpoint, GzipIndex, build_index
+
+__all__ = ["build_index", "GzipIndex", "Checkpoint"]

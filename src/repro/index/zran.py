@@ -1,0 +1,134 @@
+"""Decompression index for plain gzip files (paper ref [11], Heng Li).
+
+The related-work alternative to undetermined-context random access:
+*one* initial sequential decompression records checkpoints — (bit
+offset, 32 KiB window, uncompressed offset) — after which any location
+is reachable by decoding at most ``span`` bytes from the nearest
+checkpoint with a fully *known* context.  The trade-offs the paper
+names: the index must be built (full sequential pass), stored
+(~32 KiB/checkpoint raw; compressed here), and shipped alongside the
+file — useless when a file is read only once, which is pugz's niche.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.deflate.gzipfmt import parse_gzip_header
+from repro.deflate.inflate import inflate
+from repro.errors import GzipFormatError, RandomAccessError
+
+__all__ = ["Checkpoint", "GzipIndex", "build_index"]
+
+_MAGIC = b"RPZIDX1\x00"
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One random-access entry point into the DEFLATE stream."""
+
+    #: Bit offset of a block header in the compressed stream.
+    bit_offset: int
+    #: Uncompressed offset the block starts at.
+    uoffset: int
+    #: The 32 KiB of uncompressed data preceding ``uoffset``.
+    window: bytes
+
+
+@dataclass
+class GzipIndex:
+    """Checkpoint list for one gzip member plus addressing helpers."""
+
+    checkpoints: list[Checkpoint]
+    usize: int
+    span: int
+
+    def nearest(self, uoffset: int) -> Checkpoint:
+        """Last checkpoint at or before ``uoffset``."""
+        if not 0 <= uoffset < self.usize:
+            raise RandomAccessError(
+                f"offset {uoffset} outside uncompressed size {self.usize}"
+            )
+        best = self.checkpoints[0]
+        for cp in self.checkpoints:
+            if cp.uoffset <= uoffset:
+                best = cp
+            else:
+                break
+        return best
+
+    def read_at(self, gz_data: bytes, uoffset: int, size: int) -> bytes:
+        """Extract ``size`` uncompressed bytes starting at ``uoffset``."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        cp = self.nearest(uoffset)
+        need = uoffset - cp.uoffset + size
+        result = inflate(
+            gz_data,
+            start_bit=cp.bit_offset,
+            window=cp.window,
+            max_output=need,
+        )
+        skip = uoffset - cp.uoffset
+        return result.data[skip : skip + size]
+
+    # -- serialisation ------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialise (windows are deflate-compressed: DNA windows
+        shrink ~4x, making the index ~8 KiB per checkpoint)."""
+        out = io.BytesIO()
+        out.write(_MAGIC)
+        out.write(struct.pack("<QQI", self.usize, self.span, len(self.checkpoints)))
+        for cp in self.checkpoints:
+            cw = zlib.compress(cp.window, 6)
+            out.write(struct.pack("<QQI", cp.bit_offset, cp.uoffset, len(cw)))
+            out.write(cw)
+        return out.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "GzipIndex":
+        if data[: len(_MAGIC)] != _MAGIC:
+            raise GzipFormatError("not a gzip index blob")
+        pos = len(_MAGIC)
+        usize, span, n = struct.unpack_from("<QQI", data, pos)
+        pos += 20
+        cps = []
+        for _ in range(n):
+            bit_offset, uoffset, clen = struct.unpack_from("<QQI", data, pos)
+            pos += 20
+            window = zlib.decompress(data[pos : pos + clen])
+            pos += clen
+            cps.append(Checkpoint(bit_offset, uoffset, window))
+        return cls(checkpoints=cps, usize=usize, span=span)
+
+
+def build_index(gz_data: bytes, span: int = 1 << 20) -> GzipIndex:
+    """Build an index with ~one checkpoint per ``span`` output bytes.
+
+    Performs the full sequential decompression the technique requires
+    (that is its cost); checkpoints land on block boundaries, so access
+    never needs bit-level probing.
+    """
+    if span <= 0:
+        raise ValueError("span must be positive")
+    payload_start, *_ = parse_gzip_header(gz_data)
+    result = inflate(gz_data, start_bit=8 * payload_start)
+    data = result.data
+
+    checkpoints = [Checkpoint(bit_offset=8 * payload_start, uoffset=0, window=b"")]
+    next_target = span
+    for block in result.blocks[1:]:
+        if block.out_start >= next_target:
+            checkpoints.append(
+                Checkpoint(
+                    bit_offset=block.start_bit,
+                    uoffset=block.out_start,
+                    window=data[max(0, block.out_start - 32768) : block.out_start],
+                )
+            )
+            next_target = block.out_start + span
+    return GzipIndex(checkpoints=checkpoints, usize=len(data), span=span)

@@ -1,0 +1,5 @@
+"""Streaming file-like interfaces over the parallel decompressor."""
+
+from repro.io.streams import PugzStream, iter_fastq_records, open_pugz
+
+__all__ = ["PugzStream", "open_pugz", "iter_fastq_records"]

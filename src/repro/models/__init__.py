@@ -1,0 +1,35 @@
+"""Analytic models of gzip compression of DNA (Section V of the paper)."""
+
+from repro.models.matchprob import (
+    all_positions_match_probability,
+    log10_miss_probability,
+    match_probability,
+    match_probability_poisson,
+)
+from repro.models.nongreedy import (
+    PAPER_MEAN_MATCH_LENGTH,
+    expected_literals,
+    literal_probability,
+    literal_rate,
+)
+from repro.models.propagation import (
+    determined_fraction,
+    undetermined_fraction,
+    undetermined_series,
+    windows_until_determined,
+)
+
+__all__ = [
+    "match_probability",
+    "match_probability_poisson",
+    "all_positions_match_probability",
+    "log10_miss_probability",
+    "literal_probability",
+    "expected_literals",
+    "literal_rate",
+    "PAPER_MEAN_MATCH_LENGTH",
+    "determined_fraction",
+    "undetermined_fraction",
+    "undetermined_series",
+    "windows_until_determined",
+]

@@ -1,0 +1,64 @@
+"""Match-probability model for random DNA (Section V-A).
+
+Two windows of random DNA of length ``W``; the second is compressed
+using only matches into the first.  Under the independence assumption,
+the probability that a match of length ``k`` exists at a given position
+of the second block is::
+
+    p_k = 1 - (1 - 4^-k)^(W-k+1)  ~=  1 - exp(-4^-k (W-k+1))
+
+and the probability that *every* position has a length-``k`` match is
+``p_k^(W-k+1)``.  For gzip's parameters (k=3, W=2^15) both are
+essentially 1 — the paper's argument for why greedy parsing of random
+DNA emits no literals after the first window.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "match_probability",
+    "match_probability_poisson",
+    "all_positions_match_probability",
+    "log10_miss_probability",
+]
+
+
+def match_probability(k: int, W: int = 32768, alphabet: int = 4) -> float:
+    """Exact ``p_k``: probability of a length-``k`` match at one position."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    positions = W - k + 1
+    if positions <= 0:
+        return 0.0
+    return 1.0 - (1.0 - alphabet ** (-k)) ** positions
+
+
+def match_probability_poisson(k: int, W: int = 32768, alphabet: int = 4) -> float:
+    """Poisson approximation ``1 - exp(-alphabet^-k (W-k+1))``."""
+    positions = W - k + 1
+    if positions <= 0:
+        return 0.0
+    return 1.0 - math.exp(-(alphabet ** (-k)) * positions)
+
+
+def all_positions_match_probability(k: int, W: int = 32768, alphabet: int = 4) -> float:
+    """Probability every position in the second block has a k-match."""
+    positions = W - k + 1
+    if positions <= 0:
+        return 0.0
+    return match_probability(k, W, alphabet) ** positions
+
+
+def log10_miss_probability(k: int, W: int = 32768, alphabet: int = 4) -> float:
+    """``log10(1 - p_k)`` computed in log space (p_k may be 1-1e-225).
+
+    The paper quotes ``p_3 >= 1 - 10^-225`` for W = 2^15; this function
+    verifies such statements without underflow.
+    """
+    positions = W - k + 1
+    if positions <= 0:
+        return 0.0
+    # log10((1 - a^-k)^positions) = positions * log10(1 - a^-k)
+    return positions * math.log10(1.0 - alphabet ** (-k))

@@ -1,0 +1,98 @@
+"""Execution backends for the parallel decompressor.
+
+Three interchangeable strategies behind one ``map``-shaped interface:
+
+* :class:`SerialExecutor` — reference implementation, no concurrency;
+* :class:`ThreadExecutor` — ``threading``-based; on CPython the GIL
+  serialises the pure-Python decode work, so this demonstrates the
+  *algorithm's* concurrency, not wall-clock scaling (see DESIGN.md);
+* :class:`ProcessExecutor` — ``multiprocessing``-based; truly parallel
+  on multi-core machines (this reproduction machine has a single core,
+  so speedups are modelled by :mod:`repro.perf` instead).
+
+Work functions submitted to :class:`ProcessExecutor` must be picklable
+(module-level functions).
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+]
+
+
+class Executor(ABC):
+    """Minimal ordered-map execution interface."""
+
+    @abstractmethod
+    def map(self, fn, items: list) -> list:
+        """Apply ``fn`` to every item, returning results in input order."""
+
+    @property
+    @abstractmethod
+    def parallelism(self) -> int:
+        """Number of workers this executor can run concurrently."""
+
+
+class SerialExecutor(Executor):
+    """Run everything inline, in order."""
+
+    def map(self, fn, items: list) -> list:
+        return [fn(item) for item in items]
+
+    @property
+    def parallelism(self) -> int:
+        return 1
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool execution (GIL-bound for pure-Python work)."""
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        self.n_workers = n_workers or (os.cpu_count() or 1)
+
+    def map(self, fn, items: list) -> list:
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+            return list(pool.map(fn, items))
+
+    @property
+    def parallelism(self) -> int:
+        return self.n_workers
+
+
+class ProcessExecutor(Executor):
+    """Process-pool execution (true parallelism on multi-core hosts)."""
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        self.n_workers = n_workers or (os.cpu_count() or 1)
+
+    def map(self, fn, items: list) -> list:
+        if len(items) <= 1:
+            return [fn(item) for item in items]
+        with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+            return list(pool.map(fn, items))
+
+    @property
+    def parallelism(self) -> int:
+        return self.n_workers
+
+
+def make_executor(kind: str = "serial", n_workers: int | None = None) -> Executor:
+    """Build an executor from a name: ``serial``, ``thread`` or ``process``."""
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadExecutor(n_workers)
+    if kind == "process":
+        return ProcessExecutor(n_workers)
+    raise ValueError(f"unknown executor kind {kind!r}")

@@ -1,0 +1,58 @@
+"""Chunk-to-worker scheduling and makespan computation.
+
+Used both by the real decompressor (ordering work across a bounded
+worker pool) and by the performance simulator (predicting the makespan
+of a pass given per-chunk costs).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+__all__ = ["round_robin_makespan", "lpt_makespan", "greedy_assign"]
+
+
+def greedy_assign(costs, n_workers: int) -> list[list[int]]:
+    """LPT (longest processing time first) assignment of chunks to workers.
+
+    Returns per-worker lists of chunk indices.  LPT is a 4/3-approx of
+    optimal makespan and matches how a work-stealing pool behaves on
+    sorted work.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    costs = list(costs)
+    order = sorted(range(len(costs)), key=lambda i: -costs[i])
+    heap = [(0.0, w) for w in range(n_workers)]
+    heapq.heapify(heap)
+    assignment: list[list[int]] = [[] for _ in range(n_workers)]
+    for i in order:
+        load, w = heapq.heappop(heap)
+        assignment[w].append(i)
+        heapq.heappush(heap, (load + costs[i], w))
+    return assignment
+
+
+def lpt_makespan(costs, n_workers: int) -> float:
+    """Makespan of the LPT assignment."""
+    assignment = greedy_assign(costs, n_workers)
+    costs = np.asarray(list(costs), dtype=np.float64)
+    return max(
+        (float(costs[idx].sum()) if idx else 0.0) for idx in assignment
+    )
+
+
+def round_robin_makespan(costs, n_workers: int) -> float:
+    """Makespan when chunk ``i`` goes to worker ``i mod n`` (static split).
+
+    This is pugz's actual schedule: one chunk per thread (n_chunks ==
+    n_threads), so with equal chunks both schedules coincide.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be >= 1")
+    loads = [0.0] * n_workers
+    for i, c in enumerate(costs):
+        loads[i % n_workers] += c
+    return max(loads)

@@ -1,0 +1,31 @@
+"""Calibrated performance models of the decompression pipeline."""
+
+from repro.perf.costmodel import PAPER_MODEL, CostModel
+from repro.perf.profiling import DecodeProfile, profile_inflate
+from repro.perf.projection import project_model, projected_speedup_report
+from repro.perf.simulator import (
+    SimResult,
+    simulate_cat,
+    simulate_pugz,
+    simulate_sequential,
+    sweep_threads,
+)
+from repro.perf.storage import PRESETS, StorageModel, bottleneck, pipeline_throughput
+
+__all__ = [
+    "CostModel",
+    "PAPER_MODEL",
+    "simulate_pugz",
+    "simulate_sequential",
+    "simulate_cat",
+    "sweep_threads",
+    "SimResult",
+    "StorageModel",
+    "PRESETS",
+    "pipeline_throughput",
+    "bottleneck",
+    "profile_inflate",
+    "DecodeProfile",
+    "project_model",
+    "projected_speedup_report",
+]

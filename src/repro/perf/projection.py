@@ -1,0 +1,67 @@
+"""Projecting measured Python stage costs onto other machines.
+
+The measured (pure-Python) and modelled (paper-testbed) views of
+Table II differ by a language/hardware factor per stage.  This module
+makes the projection explicit: from a Python-measured
+:class:`~repro.perf.costmodel.CostModel` and one anchor ratio (how much
+faster the target machine's sequential decoder is), derive a projected
+model for the target and predict its parallel behaviour — the honest
+way to say "what would this Python run look like on the Xeon".
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.perf.costmodel import CostModel
+from repro.perf.simulator import simulate_pugz, simulate_sequential
+
+__all__ = ["project_model", "projected_speedup_report"]
+
+
+def project_model(
+    measured: CostModel,
+    target_libdeflate_mbps: float = 118.0,
+    target_cores: int = 24,
+    target_cat_mbps: float = 2000.0,
+) -> CostModel:
+    """Scale a measured model onto a target machine.
+
+    All decode-class stages scale by the single sequential-decoder
+    ratio (they run the same algorithm family); the translate stage is
+    memory-bound and scales by the cat ratio.  Sync time scales with
+    the decode ratio too (probing is decode work).
+    """
+    if measured.libdeflate_mbps <= 0:
+        raise ValueError("measured model must have positive rates")
+    decode_scale = target_libdeflate_mbps / measured.libdeflate_mbps
+    mem_scale = target_cat_mbps / max(measured.cat_mbps, 1e-9)
+    return replace(
+        measured,
+        gunzip_mbps=measured.gunzip_mbps * decode_scale,
+        libdeflate_mbps=target_libdeflate_mbps,
+        pass1_mbps=measured.pass1_mbps * decode_scale,
+        translate_mbps=measured.translate_mbps * mem_scale,
+        cat_mbps=target_cat_mbps,
+        physical_cores=target_cores,
+        sync_seconds=measured.sync_seconds / decode_scale,
+    )
+
+
+def projected_speedup_report(
+    measured: CostModel,
+    compressed_mb: float = 5000.0,
+    n_threads: int = 32,
+) -> dict[str, float]:
+    """Predict the target-machine Table II row from measured stages."""
+    projected = project_model(measured)
+    pugz = simulate_pugz(projected, compressed_mb, n_threads).speed_mbps
+    gunzip = simulate_sequential(projected, "gunzip", compressed_mb).speed_mbps
+    libdeflate = simulate_sequential(projected, "libdeflate", compressed_mb).speed_mbps
+    return {
+        "gunzip_mbps": gunzip,
+        "libdeflate_mbps": libdeflate,
+        "pugz_mbps": pugz,
+        "speedup_vs_gunzip": pugz / gunzip,
+        "speedup_vs_libdeflate": pugz / libdeflate,
+    }

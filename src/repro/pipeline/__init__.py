@@ -1,0 +1,13 @@
+"""Parallel pipeline head: decompression feeding mergeable analyzers."""
+
+from repro.pipeline.analyzers import GcProfile, KmerCounter, LengthHistogram, QualityStats
+from repro.pipeline.runner import PipelineResult, run_fastq_pipeline
+
+__all__ = [
+    "run_fastq_pipeline",
+    "PipelineResult",
+    "KmerCounter",
+    "QualityStats",
+    "GcProfile",
+    "LengthHistogram",
+]

@@ -1,0 +1,149 @@
+"""Mergeable read analyzers — the consumers at the head of pipelines.
+
+The paper's Table II note: pugz lets every thread emit output without
+synchronisation "to mimic the behavior of a FASTQ parser (as in some
+applications, the order of the reads is irrelevant)".  These analyzers
+are exactly such applications: each consumes reads independently and
+supports ``merge`` of partial results, so chunk outputs can be analysed
+in parallel and combined — no ordering, no barrier until the final
+merge.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.fastq import FastqRecord
+
+__all__ = ["KmerCounter", "QualityStats", "GcProfile", "LengthHistogram"]
+
+
+class KmerCounter:
+    """Exact k-mer counting over read sequences."""
+
+    def __init__(self, k: int = 16) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.counts: Counter = Counter()
+        self.reads = 0
+
+    def consume(self, record: FastqRecord) -> None:
+        seq = record.sequence
+        k = self.k
+        self.reads += 1
+        for i in range(len(seq) - k + 1):
+            self.counts[seq[i : i + k]] += 1
+
+    def merge(self, other: "KmerCounter") -> "KmerCounter":
+        if other.k != self.k:
+            raise ValueError("cannot merge counters with different k")
+        self.counts.update(other.counts)
+        self.reads += other.reads
+        return self
+
+    @property
+    def distinct(self) -> int:
+        return len(self.counts)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def most_common(self, n: int = 10) -> list[tuple[bytes, int]]:
+        return self.counts.most_common(n)
+
+
+class QualityStats:
+    """Per-position quality aggregation (mean Q by cycle)."""
+
+    def __init__(self) -> None:
+        self._sums = np.zeros(0, dtype=np.int64)
+        self._counts = np.zeros(0, dtype=np.int64)
+        self.reads = 0
+
+    def _grow(self, n: int) -> None:
+        if n > len(self._sums):
+            self._sums = np.concatenate([self._sums, np.zeros(n - len(self._sums), np.int64)])
+            self._counts = np.concatenate([self._counts, np.zeros(n - len(self._counts), np.int64)])
+
+    def consume(self, record: FastqRecord) -> None:
+        q = np.frombuffer(record.quality, dtype=np.uint8).astype(np.int64) - 33
+        self._grow(len(q))
+        self._sums[: len(q)] += q
+        self._counts[: len(q)] += 1
+        self.reads += 1
+
+    def merge(self, other: "QualityStats") -> "QualityStats":
+        self._grow(len(other._sums))
+        self._sums[: len(other._sums)] += other._sums
+        self._counts[: len(other._counts)] += other._counts
+        self.reads += other.reads
+        return self
+
+    def mean_by_cycle(self) -> np.ndarray:
+        with np.errstate(invalid="ignore"):
+            return self._sums / np.maximum(self._counts, 1)
+
+    @property
+    def mean_quality(self) -> float:
+        total = self._counts.sum()
+        return float(self._sums.sum() / total) if total else 0.0
+
+
+class GcProfile:
+    """GC-content distribution across reads."""
+
+    def __init__(self, bins: int = 20) -> None:
+        if bins < 1:
+            raise ValueError("bins must be >= 1")
+        self.bins = bins
+        self.histogram = np.zeros(bins, dtype=np.int64)
+        self._gc_sum = 0.0
+        self.reads = 0
+
+    def consume(self, record: FastqRecord) -> None:
+        seq = record.sequence
+        if not seq:
+            return
+        gc = (seq.count(b"G") + seq.count(b"C")) / len(seq)
+        idx = min(self.bins - 1, int(gc * self.bins))
+        self.histogram[idx] += 1
+        self._gc_sum += gc
+        self.reads += 1
+
+    def merge(self, other: "GcProfile") -> "GcProfile":
+        if other.bins != self.bins:
+            raise ValueError("cannot merge profiles with different bins")
+        self.histogram += other.histogram
+        self._gc_sum += other._gc_sum
+        self.reads += other.reads
+        return self
+
+    @property
+    def mean_gc(self) -> float:
+        return self._gc_sum / self.reads if self.reads else 0.0
+
+
+@dataclass
+class LengthHistogram:
+    """Read-length distribution."""
+
+    counts: Counter = field(default_factory=Counter)
+    reads: int = 0
+
+    def consume(self, record: FastqRecord) -> None:
+        self.counts[len(record.sequence)] += 1
+        self.reads += 1
+
+    def merge(self, other: "LengthHistogram") -> "LengthHistogram":
+        self.counts.update(other.counts)
+        self.reads += other.reads
+        return self
+
+    @property
+    def modal_length(self) -> int:
+        return self.counts.most_common(1)[0][0] if self.counts else 0

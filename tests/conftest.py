@@ -1,0 +1,67 @@
+"""Shared fixtures: synthetic inputs and pre-compressed samples.
+
+Expensive artefacts (MB-scale texts, compressed streams) are
+session-scoped so the whole suite pays for them once.
+"""
+
+from __future__ import annotations
+
+import gzip as stdlib_gzip
+import zlib
+
+import pytest
+
+from repro.data import fastq_like, random_dna, synthetic_fastq
+
+
+@pytest.fixture(scope="session")
+def dna_100k() -> bytes:
+    """100 kb of uniform random DNA."""
+    return random_dna(100_000, seed=1)
+
+
+@pytest.fixture(scope="session")
+def fastq_small() -> bytes:
+    """~250 KB synthetic FASTQ (safe quality alphabet)."""
+    return synthetic_fastq(600, read_length=100, seed=2, quality_profile="safe")
+
+
+@pytest.fixture(scope="session")
+def fastq_medium() -> bytes:
+    """~1.5 MB synthetic FASTQ (safe quality alphabet)."""
+    return synthetic_fastq(4000, read_length=100, seed=3, quality_profile="safe")
+
+
+@pytest.fixture(scope="session")
+def fastq_medium_gz6(fastq_medium) -> bytes:
+    """The medium FASTQ as a gzip file at level 6 (multi-block)."""
+    return stdlib_gzip.compress(fastq_medium, 6, mtime=0)
+
+
+@pytest.fixture(scope="session")
+def fastq_like_1m() -> bytes:
+    """1 MB of the paper's FASTQ-like string (150 DNA + 300 'x')."""
+    return fastq_like(1_000_000, seed=4)
+
+
+@pytest.fixture(scope="session")
+def mixed_text() -> bytes:
+    """English-ish text with repetition — a non-genomic workload."""
+    para = (
+        b"The quick brown fox jumps over the lazy dog. "
+        b"Pack my box with five dozen liquor jugs. "
+        b"How vexingly quick daft zebras jump! "
+    )
+    return para * 3000
+
+
+def zlib_raw(data: bytes, level: int) -> bytes:
+    """Raw DEFLATE stream (no container) via the system zlib."""
+    co = zlib.compressobj(level, zlib.DEFLATED, -15)
+    return co.compress(data) + co.flush()
+
+
+@pytest.fixture(scope="session")
+def zlib_raw_factory():
+    """Expose :func:`zlib_raw` to tests as a fixture."""
+    return zlib_raw

@@ -1,0 +1,56 @@
+"""Batch decompression over a corpus."""
+
+import gzip as stdlib_gzip
+
+import pytest
+
+from repro.core.batch import decompress_batch
+from repro.data import CorpusSpec, build_corpus
+from repro.errors import GzipFormatError
+
+
+@pytest.fixture(scope="module")
+def corpus_files():
+    corpus = build_corpus(
+        CorpusSpec(n_lowest=1, n_normal=2, n_highest=1,
+                   reads_per_file=400, read_length=80)
+    )
+    return [(f.name, f.gz) for f in corpus]
+
+
+class TestBatch:
+    def test_all_files_decompress(self, corpus_files):
+        outputs = {}
+        result = decompress_batch(
+            corpus_files, lambda n, d: outputs.__setitem__(n, d), n_chunks=2
+        )
+        assert len(result.succeeded) == len(corpus_files)
+        assert not result.failed
+        for name, gz in corpus_files:
+            assert outputs[name] == stdlib_gzip.decompress(gz)
+        assert result.total_output == sum(len(v) for v in outputs.values())
+
+    def test_corrupt_file_isolated(self, corpus_files):
+        bad = bytearray(corpus_files[0][1])
+        bad[-5] ^= 0xFF  # break the CRC
+        files = [("bad.gz", bytes(bad))] + corpus_files[1:]
+        result = decompress_batch(files, lambda n, d: None, verify=True)
+        assert len(result.failed) == 1
+        assert result.failed[0].name == "bad.gz"
+        assert "CRC" in result.failed[0].error
+        assert len(result.succeeded) == len(corpus_files) - 1
+
+    def test_stop_on_error(self, corpus_files):
+        bad = b"\x1f\x8b\x08\x00" + b"\x00" * 10
+        with pytest.raises(Exception):
+            decompress_batch(
+                [("bad.gz", bad)] + corpus_files,
+                lambda n, d: None,
+                stop_on_error=True,
+            )
+
+    def test_reports_attached(self, corpus_files):
+        result = decompress_batch(corpus_files[:1], lambda n, d: None, n_chunks=3)
+        outcome = result.succeeded[0]
+        assert outcome.report is not None
+        assert outcome.report.output_size == outcome.output_size

@@ -1,0 +1,60 @@
+"""Chunk planning: boundaries on confirmed block starts."""
+
+import pytest
+
+from repro.core.chunking import plan_chunks
+from repro.deflate.inflate import inflate
+from tests.conftest import zlib_raw
+
+
+@pytest.fixture(scope="module")
+def stream(fastq_medium):
+    raw = zlib_raw(fastq_medium, 6)
+    full = inflate(raw)
+    return raw, full
+
+
+class TestPlanChunks:
+    def test_single_chunk(self, stream):
+        raw, full = stream
+        chunks = plan_chunks(raw, 0, 8 * len(raw), 1)
+        assert len(chunks) == 1
+        assert chunks[0].start_bit == 0
+        assert chunks[0].stop_bit is None
+
+    def test_boundaries_are_block_starts(self, stream):
+        raw, full = stream
+        starts = {b.start_bit for b in full.blocks}
+        chunks = plan_chunks(raw, 0, 8 * len(raw), 4)
+        for c in chunks:
+            assert c.start_bit in starts
+
+    def test_chunks_cover_stream_contiguously(self, stream):
+        raw, full = stream
+        chunks = plan_chunks(raw, 0, 8 * len(raw), 3)
+        assert chunks[0].start_bit == 0
+        for a, b in zip(chunks, chunks[1:]):
+            assert a.stop_bit == b.start_bit
+        assert chunks[-1].stop_bit is None
+
+    def test_monotone_increasing(self, stream):
+        raw, full = stream
+        chunks = plan_chunks(raw, 0, 8 * len(raw), 5)
+        starts = [c.start_bit for c in chunks]
+        assert starts == sorted(set(starts))
+
+    def test_more_chunks_than_blocks_collapses(self, stream):
+        raw, full = stream
+        n_blocks = len(full.blocks)
+        chunks = plan_chunks(raw, 0, 8 * len(raw), n_blocks * 4)
+        assert len(chunks) <= n_blocks
+
+    def test_invalid_count(self, stream):
+        raw, _ = stream
+        with pytest.raises(ValueError):
+            plan_chunks(raw, 0, 8 * len(raw), 0)
+
+    def test_indices_sequential(self, stream):
+        raw, _ = stream
+        chunks = plan_chunks(raw, 0, 8 * len(raw), 4)
+        assert [c.index for c in chunks] == list(range(len(chunks)))

@@ -1,0 +1,120 @@
+"""Guessing undetermined characters (the future-work exploration)."""
+
+import numpy as np
+import pytest
+
+from repro.core.guess import classify_marker_contexts, guess_markers
+from repro.core.marker import MARKER_BASE, from_bytes
+from repro.core.marker_inflate import marker_inflate
+from repro.core.sync import find_block_start
+from repro.data import classify_fastq_bytes, gzip_zlib, synthetic_fastq
+from repro.deflate.inflate import inflate
+
+
+def mark(text: str) -> np.ndarray:
+    """'?' in ``text`` become distinct markers."""
+    arr = from_bytes(text.encode())
+    j = 0
+    for i, ch in enumerate(text):
+        if ch == "?":
+            arr[i] = MARKER_BASE + j
+            j += 1
+    return arr
+
+
+class TestClassification:
+    def test_dna_context_constrains_to_nucleotides(self):
+        syms = mark("\nACGTAC?TACGT\n")
+        cands = classify_marker_contexts(syms)
+        (cand,) = cands.values()
+        assert cand <= set(b"ACGTN")
+
+    def test_quality_context_excludes_dna(self):
+        syms = mark("\n!#%&()*+,-.?/:;<=>!#%&()\n")
+        cands = classify_marker_contexts(syms)
+        (cand,) = cands.values()
+        assert not (cand & set(b"ACGTN"))
+
+    def test_repeated_marker_intersects_constraints(self):
+        """The same marker in a DNA and a quality context -> empty or
+        tiny candidate set (the consistency constraint)."""
+        text = "\nACGTAC?TACGT\n!#%&()*+,-.?!#%&()!\n"
+        arr = from_bytes(text.encode())
+        positions = [i for i, ch in enumerate(text) if ch == "?"]
+        for p in positions:
+            arr[p] = MARKER_BASE + 7  # same marker twice
+        cands = classify_marker_contexts(arr)
+        assert len(cands[7]) <= 1
+
+    def test_no_markers(self):
+        assert classify_marker_contexts(from_bytes(b"ACGT\n")) == {}
+
+
+class TestGuessing:
+    def test_no_markers_is_identity(self):
+        syms = from_bytes(b"@h\nACGT\n+\nIIII\n")
+        rep = guess_markers(syms)
+        assert (rep.symbols == syms).all()
+        assert len(rep.guessed_positions) == 0
+
+    def test_all_markers_replaced(self):
+        syms = mark("\nACGT?CGT??GT\n")
+        rep = guess_markers(syms)
+        assert (rep.symbols < MARKER_BASE).all()
+        assert len(rep.guessed_positions) == 3
+
+    def test_dna_gaps_guessed_as_nucleotides(self):
+        syms = mark("\nACGTACGTAC?TACGTACG?ACGT\n")
+        rep = guess_markers(syms)
+        for pos in rep.guessed_positions:
+            assert rep.symbols[pos] in set(b"ACGTN")
+
+    def test_candidate_soundness_on_real_stream(self):
+        """On a real marker stream, candidate sets virtually always
+        contain the true byte (sampled)."""
+        text = synthetic_fastq(2500, read_length=100, seed=5,
+                               quality_profile="illumina", barcode="ATCACG")
+        gz = gzip_zlib(text, 6)
+        sync = find_block_start(gz, start_bit=8 * (len(gz) // 3))
+        full = inflate(gz, start_bit=80)
+        target = next(b for b in full.blocks if b.start_bit == sync.bit_offset)
+        res = marker_inflate(gz, start_bit=sync.bit_offset)
+        truth = np.frombuffer(text[target.out_start :], np.uint8).astype(np.int32)
+        cands = classify_marker_contexts(res.symbols)
+        marker_pos = np.flatnonzero(res.symbols >= MARKER_BASE)[:5000]
+        ok = total = 0
+        for pos in marker_pos.tolist():
+            j = int(res.symbols[pos]) - MARKER_BASE
+            cand = cands.get(j, set())
+            if cand:
+                total += 1
+                ok += int(truth[pos]) in cand
+        assert ok / total > 0.95
+
+    def test_accuracy_bounds_on_real_stream(self):
+        """The negative result, quantified: DNA accuracy approaches the
+        25 % cap for uniform random DNA (so guessing cannot rescue
+        sequences); quality beats its uniform baseline; headers are
+        unrecoverable (their bytes never appear as literals — Fig 4)."""
+        text = synthetic_fastq(2500, read_length=100, seed=5,
+                               quality_profile="illumina", barcode="ATCACG")
+        gz = gzip_zlib(text, 6)
+        sync = find_block_start(gz, start_bit=8 * (len(gz) // 3))
+        full = inflate(gz, start_bit=80)
+        target = next(b for b in full.blocks if b.start_bit == sync.bit_offset)
+        res = marker_inflate(gz, start_bit=sync.bit_offset)
+        truth = np.frombuffer(text[target.out_start :], np.uint8).astype(np.int32)
+        types = classify_fastq_bytes(text)[target.out_start :]
+
+        rep = guess_markers(res.symbols)
+        mp = rep.guessed_positions
+        assert (rep.symbols < MARKER_BASE).all()
+
+        dna_pos = mp[types[mp] == 1]
+        qual_pos = mp[types[mp] == 3]
+        dna_acc = float((rep.symbols[dna_pos] == truth[dna_pos]).mean())
+        qual_acc = float((rep.symbols[qual_pos] == truth[qual_pos]).mean())
+        # DNA: within [0.15, 0.35] around the 0.25 information cap.
+        assert 0.15 < dna_acc < 0.35
+        # Quality: above a uniform guess over the ~25-symbol alphabet.
+        assert qual_acc > 0.10

@@ -1,0 +1,93 @@
+"""Marker alphabet: construction, resolution algebra, conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import marker
+from repro.errors import ReproError
+
+
+class TestWindowConstruction:
+    def test_undetermined_window_shape(self):
+        w = marker.undetermined_window()
+        assert len(w) == 32768
+        assert w[0] == marker.MARKER_BASE
+        assert w[-1] == marker.MARKER_BASE + 32767
+
+    def test_symbols_partition(self):
+        assert marker.NUM_SYMBOLS == 256 + 32768
+
+
+class TestPredicates:
+    def test_is_marker(self):
+        arr = np.array([0, 255, 256, 33023], dtype=np.int32)
+        assert marker.is_marker(arr).tolist() == [False, False, True, True]
+
+    def test_marker_positions(self):
+        arr = np.array([65, marker.MARKER_BASE + 5, marker.MARKER_BASE], dtype=np.int32)
+        assert marker.marker_positions(arr).tolist() == [-1, 5, 0]
+
+    def test_count_markers(self):
+        arr = np.array([1, 2, 300, 400, 500], dtype=np.int32)
+        assert marker.count_markers(arr) == 3
+        assert marker.count_markers(np.array([], dtype=np.int32)) == 0
+
+
+class TestResolve:
+    def test_resolves_markers_only(self):
+        window = np.arange(32768, dtype=np.int32) % 256
+        syms = np.array([65, marker.MARKER_BASE + 10, marker.MARKER_BASE + 300], dtype=np.int32)
+        out = marker.resolve(syms, window)
+        assert out.tolist() == [65, 10, 300 % 256]
+
+    def test_does_not_mutate_input(self):
+        syms = np.array([marker.MARKER_BASE], dtype=np.int32)
+        window = np.zeros(32768, dtype=np.int32)
+        marker.resolve(syms, window)
+        assert syms[0] == marker.MARKER_BASE
+
+    def test_chained_resolution(self):
+        """Markers in the window propagate one link (the pass-2a chain)."""
+        window = np.full(32768, marker.MARKER_BASE + 7, dtype=np.int32)
+        syms = np.array([marker.MARKER_BASE + 1], dtype=np.int32)
+        out = marker.resolve(syms, window)
+        assert out[0] == marker.MARKER_BASE + 7
+
+    def test_wrong_window_size_raises(self):
+        with pytest.raises(ReproError):
+            marker.resolve(np.array([0]), np.zeros(100, dtype=np.int32))
+
+    @given(st.lists(st.integers(min_value=0, max_value=marker.NUM_SYMBOLS - 1), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_property_idempotent_on_concrete_window(self, values):
+        """Resolving with a fully concrete window leaves no markers and
+        resolving again is the identity."""
+        rng = np.random.default_rng(0)
+        window = rng.integers(0, 256, size=32768).astype(np.int32)
+        syms = np.asarray(values, dtype=np.int32)
+        once = marker.resolve(syms, window)
+        assert marker.count_markers(once) == 0
+        twice = marker.resolve(once, window)
+        assert (once == twice).all()
+
+
+class TestByteConversion:
+    def test_to_bytes_concrete(self):
+        syms = np.frombuffer(b"ACGT", dtype=np.uint8).astype(np.int32)
+        assert marker.to_bytes(syms) == b"ACGT"
+
+    def test_to_bytes_raises_on_markers(self):
+        syms = np.array([65, marker.MARKER_BASE], dtype=np.int32)
+        with pytest.raises(ReproError, match="unresolved"):
+            marker.to_bytes(syms)
+
+    def test_to_bytes_placeholder(self):
+        """The paper's '?' display convention (Figure 1)."""
+        syms = np.array([65, marker.MARKER_BASE + 3, 67], dtype=np.int32)
+        assert marker.to_bytes(syms, placeholder=ord("?")) == b"A?C"
+
+    def test_from_bytes_round_trip(self):
+        data = bytes(range(256))
+        assert marker.to_bytes(marker.from_bytes(data)) == data

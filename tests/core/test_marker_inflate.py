@@ -1,0 +1,159 @@
+"""Marker-domain inflate: equivalence with byte inflate, propagation."""
+
+import numpy as np
+import pytest
+
+from repro.core import marker
+from repro.core.marker_inflate import marker_inflate
+from repro.deflate.inflate import inflate
+from tests.conftest import zlib_raw
+
+
+@pytest.fixture(scope="module")
+def stream(fastq_medium):
+    raw = zlib_raw(fastq_medium, 6)
+    full = inflate(raw)
+    assert len(full.blocks) >= 4, "fixture must be multi-block"
+    return raw, full, fastq_medium
+
+
+class TestKnownContextEquivalence:
+    def test_from_start_no_markers(self, stream):
+        raw, full, text = stream
+        result = marker_inflate(raw, start_bit=0)
+        # A valid stream never references before its own start, so even
+        # an undetermined seed yields a marker-free output.
+        assert marker.count_markers(result.symbols) == 0
+        assert marker.to_bytes(result.symbols) == text
+
+    def test_mid_stream_with_true_window(self, stream):
+        raw, full, text = stream
+        b = full.blocks[2]
+        window = text[: b.out_start][-32768:]
+        result = marker_inflate(raw, start_bit=b.start_bit, window=window)
+        assert marker.count_markers(result.symbols) == 0
+        assert marker.to_bytes(result.symbols) == text[b.out_start :]
+
+    def test_block_accounting_matches_byte_domain(self, stream):
+        raw, full, text = stream
+        result = marker_inflate(raw, start_bit=0)
+        assert [(b.start_bit, b.out_start, b.out_end) for b in result.blocks] == [
+            (b.start_bit, b.out_start, b.out_end) for b in full.blocks
+        ]
+        assert result.end_bit == full.end_bit
+        assert result.final_seen
+
+
+class TestUndeterminedContext:
+    def test_markers_resolve_to_truth(self, stream):
+        """THE core invariant: decode with undetermined context, then
+        resolve markers with the true context -> exact bytes."""
+        raw, full, text = stream
+        b = full.blocks[1]
+        result = marker_inflate(raw, start_bit=b.start_bit, window=None)
+        assert marker.count_markers(result.symbols) > 0  # something to resolve
+        true_window = np.frombuffer(
+            text[: b.out_start][-32768:], dtype=np.uint8
+        ).astype(np.int32)
+        resolved = marker.resolve(result.symbols, true_window)
+        assert marker.to_bytes(resolved) == text[b.out_start :]
+
+    def test_marker_positions_name_true_context(self, stream):
+        """Every marker U_j must equal the true context byte at j."""
+        raw, full, text = stream
+        b = full.blocks[1]
+        result = marker_inflate(raw, start_bit=b.start_bit, window=None)
+        context = text[: b.out_start][-32768:]
+        tail_truth = text[b.out_start :]
+        syms = result.symbols
+        positions = np.flatnonzero(syms >= marker.MARKER_BASE)[:500]
+        for p in positions:
+            j = int(syms[p]) - marker.MARKER_BASE
+            assert context[j] == tail_truth[p]
+
+    def test_concrete_symbols_already_correct(self, stream):
+        raw, full, text = stream
+        b = full.blocks[1]
+        result = marker_inflate(raw, start_bit=b.start_bit, window=None)
+        syms = result.symbols
+        truth = np.frombuffer(text[b.out_start :], dtype=np.uint8).astype(np.int32)
+        concrete = syms < marker.MARKER_BASE
+        assert (syms[concrete] == truth[concrete]).all()
+
+    def test_final_window_field(self, stream):
+        raw, full, text = stream
+        result = marker_inflate(raw, start_bit=0)
+        assert marker.to_bytes(result.window) == text[-32768:]
+
+
+class TestStreamingMode:
+    def test_streaming_equals_full(self, stream):
+        raw, full, text = stream
+        b = full.blocks[1]
+        chunks = []
+        positions = []
+
+        def sink(symbols, start):
+            chunks.append(list(symbols))
+            positions.append(start)
+
+        res_stream = marker_inflate(
+            raw, start_bit=b.start_bit, window=None, sink=sink, flush_symbols=5000
+        )
+        res_full = marker_inflate(raw, start_bit=b.start_bit, window=None)
+        flat = [s for c in chunks for s in c]
+        assert flat == res_full.symbols.tolist()
+        assert res_stream.symbols is None
+        assert res_stream.total_output == res_full.total_output
+        # Start positions must be contiguous.
+        acc = 0
+        for pos, c in zip(positions, chunks):
+            assert pos == acc
+            acc += len(c)
+
+    def test_streaming_window_matches(self, stream):
+        raw, full, text = stream
+        res = marker_inflate(raw, start_bit=0, sink=lambda *_: None, flush_symbols=4096)
+        assert marker.to_bytes(res.window) == text[-32768:]
+
+
+class TestStops:
+    def test_stop_bit_at_block_boundary(self, stream):
+        raw, full, text = stream
+        stop = full.blocks[2].start_bit
+        result = marker_inflate(raw, start_bit=0, stop_bit=stop)
+        assert result.end_bit == stop
+        assert result.total_output == full.blocks[2].out_start
+        assert marker.to_bytes(result.symbols) == text[: full.blocks[2].out_start]
+
+    def test_max_output_truncates(self, stream):
+        raw, full, text = stream
+        result = marker_inflate(raw, start_bit=0, max_output=1000)
+        assert result.truncated
+        assert result.total_output >= 1000
+        assert marker.to_bytes(result.symbols)[:1000] == text[:1000]
+
+    def test_max_blocks(self, stream):
+        raw, full, text = stream
+        result = marker_inflate(raw, start_bit=0, max_blocks=2)
+        assert len(result.blocks) == 2
+        assert not result.final_seen
+
+
+class TestSeededWindows:
+    def test_short_window_left_padded_with_markers(self, stream):
+        raw, full, text = stream
+        b = full.blocks[1]
+        # Provide only the last 100 bytes of true context: references
+        # further back must surface as markers, aligned correctly.
+        short = text[: b.out_start][-100:]
+        result = marker_inflate(raw, start_bit=b.start_bit, window=short)
+        true_window = np.frombuffer(
+            text[: b.out_start][-32768:], dtype=np.uint8
+        ).astype(np.int32)
+        resolved = marker.resolve(result.symbols, true_window)
+        assert marker.to_bytes(resolved) == text[b.out_start :]
+
+    def test_invalid_symbol_in_window(self):
+        with pytest.raises(ValueError):
+            marker_inflate(b"\x00\x00", window=[999999])

@@ -1,0 +1,56 @@
+"""Parallel index construction (pugz x ref [11] synthesis)."""
+
+import pytest
+
+from repro.core.parallel_index import pugz_build_index
+from repro.data import gzip_zlib
+
+
+class TestPugzBuildIndex:
+    @pytest.fixture(scope="class")
+    def built(self, fastq_medium):
+        gz = gzip_zlib(fastq_medium, 6)
+        out, idx = pugz_build_index(gz, n_chunks=5)
+        return fastq_medium, gz, out, idx
+
+    def test_data_exact(self, built):
+        text, gz, out, idx = built
+        assert out == text
+
+    def test_index_addresses_everything(self, built):
+        text, gz, out, idx = built
+        assert idx.usize == len(text)
+        for off in (0, 1000, len(text) // 2, len(text) - 500):
+            assert idx.read_at(gz, off, 200) == text[off : off + 200]
+
+    def test_checkpoints_are_chunk_boundaries(self, built):
+        text, gz, out, idx = built
+        assert len(idx.checkpoints) >= 2
+        for cp in idx.checkpoints[1:]:
+            assert len(cp.window) == 32768
+            assert cp.window == text[cp.uoffset - 32768 : cp.uoffset]
+
+    def test_serialisation_round_trip(self, built):
+        from repro.index import GzipIndex
+
+        text, gz, out, idx = built
+        idx2 = GzipIndex.from_bytes(idx.to_bytes())
+        off = len(text) * 2 // 3
+        assert idx2.read_at(gz, off, 123) == text[off : off + 123]
+
+    def test_more_chunks_denser_index(self, fastq_medium):
+        gz = gzip_zlib(fastq_medium, 6)
+        _, sparse = pugz_build_index(gz, n_chunks=2)
+        _, dense = pugz_build_index(gz, n_chunks=8)
+        assert len(dense.checkpoints) >= len(sparse.checkpoints)
+
+    def test_multi_member_rejected(self, fastq_small):
+        import gzip as stdlib_gzip
+
+        from repro.errors import ReproError
+
+        gz = stdlib_gzip.compress(fastq_small[:1000]) + stdlib_gzip.compress(
+            fastq_small[1000:]
+        )
+        with pytest.raises(ReproError, match="single-member"):
+            pugz_build_index(gz, n_chunks=2)

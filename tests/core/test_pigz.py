@@ -1,0 +1,106 @@
+"""pigz-style parallel compression: compatibility, ratio, round trips."""
+
+import gzip as stdlib_gzip
+import zlib
+
+import pytest
+
+from repro.core.pigz import pigz_compress
+from repro.core.pugz import pugz_decompress
+from repro.deflate.deflate import deflate_compress
+from repro.deflate.gzipfmt import gzip_unwrap
+from repro.deflate.lz77 import parse_lz77
+
+
+class TestCompatibility:
+    def test_stdlib_decompresses(self, fastq_small):
+        pg = pigz_compress(fastq_small, 6, chunk_size=40_000)
+        assert stdlib_gzip.decompress(pg) == fastq_small
+
+    def test_our_unwrap_decompresses_with_crc(self, fastq_small):
+        pg = pigz_compress(fastq_small, 6, chunk_size=40_000)
+        assert gzip_unwrap(pg, verify=True) == fastq_small
+
+    def test_pugz_decompresses_pigz(self, fastq_small):
+        """The full parallel circle: parallel compress, parallel
+        decompress, byte exact."""
+        pg = pigz_compress(fastq_small, 6, chunk_size=30_000)
+        assert pugz_decompress(pg, n_chunks=3, verify=True) == fastq_small
+
+    @pytest.mark.parametrize("level", [1, 6, 9])
+    def test_levels(self, level, dna_100k):
+        pg = pigz_compress(dna_100k, level, chunk_size=30_000)
+        assert stdlib_gzip.decompress(pg) == dna_100k
+
+    def test_single_chunk_input(self):
+        data = b"short input" * 10
+        pg = pigz_compress(data, 6)
+        assert stdlib_gzip.decompress(pg) == data
+
+    def test_empty_input(self):
+        pg = pigz_compress(b"")
+        assert stdlib_gzip.decompress(pg) == b""
+
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_executors(self, executor, fastq_small):
+        pg = pigz_compress(fastq_small, 6, chunk_size=50_000, executor=executor)
+        assert stdlib_gzip.decompress(pg) == fastq_small
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            pigz_compress(b"x", chunk_size=10)
+
+
+class TestRatio:
+    def test_overhead_vs_sequential_tiny(self, fastq_medium):
+        """pigz overhead over the sequential encoder stays < 1 %."""
+        data = fastq_medium[:600_000]
+        seq = len(deflate_compress(data, 6))
+        par = len(pigz_compress(data, 6, chunk_size=100_000)) - 18  # container
+        assert par < seq * 1.01
+
+    def test_dictionary_preserves_cross_chunk_matches(self):
+        """A repeated pattern spanning a chunk boundary must still be
+        matched (the dictionary's whole purpose)."""
+        unit = b"SPANNINGPATTERN-0123456789abcdefghij"
+        data = unit * 4000  # ~144 KB, crosses a 100 KB chunk boundary
+        with_dict = pigz_compress(data, 6, chunk_size=100_000)
+        # Compare against chunking *without* dictionary: compress the
+        # two chunks independently as members.
+        a = stdlib_gzip.compress(data[:100_000], 6)
+        b = stdlib_gzip.compress(data[100_000:], 6)
+        assert len(with_dict) < len(a) + len(b)
+        assert stdlib_gzip.decompress(with_dict) == data
+
+
+class TestDictionaryParsing:
+    def test_tokens_only_for_payload(self):
+        dictionary = b"ABCDEFGH" * 100
+        payload = b"ABCDEFGH" * 50
+        tokens = parse_lz77(payload, 6, dictionary=dictionary)
+        total = sum(t.length for t in tokens)
+        assert total == len(payload)
+
+    def test_matches_reach_into_dictionary(self):
+        dictionary = b"UNIQUESTRINGCONTENT" * 3
+        payload = b"UNIQUESTRINGCONTENT"
+        tokens = parse_lz77(payload, 6, dictionary=dictionary)
+        assert any(not t.is_literal for t in tokens)
+
+    def test_empty_dictionary_equals_plain(self, dna_100k):
+        data = dna_100k[:20_000]
+        a = parse_lz77(data, 6)
+        b = parse_lz77(data, 6, dictionary=b"")
+        assert list(a.offsets()) == list(b.offsets())
+        assert list(a.values()) == list(b.values())
+
+    def test_dictionary_decode_with_zlib(self):
+        """zlib with setDictionary decodes our dictionary-parsed stream."""
+        from repro.deflate.deflate import compress_tokens
+
+        dictionary = b"the quick brown fox jumps over the lazy dog " * 20
+        payload = b"the quick brown fox leaps over the lazy dog!"
+        tokens = parse_lz77(payload, 6, dictionary=dictionary)
+        raw = compress_tokens(payload, tokens)
+        d = zlib.decompressobj(wbits=-15, zdict=dictionary)
+        assert d.decompress(raw) == payload

@@ -1,0 +1,119 @@
+"""Random access to sequences in compressed FASTQ (Section VII-A)."""
+
+import pytest
+
+from repro.core.random_access import random_access_sequences
+from repro.data import gzip_zlib, synthetic_fastq
+from repro.deflate.deflate import gzip_compress
+from repro.errors import RandomAccessError
+
+
+@pytest.fixture(scope="module")
+def safe_fastq():
+    """FASTQ whose quality alphabet is disjoint from DNA letters."""
+    return synthetic_fastq(5000, read_length=150, seed=101, quality_profile="safe")
+
+
+@pytest.fixture(scope="module")
+def cross_fastq():
+    """FASTQ with Illumina qualities + DNA barcode (cross-matching).
+
+    100 bp reads raise the header/quality share of the stream, which
+    strengthens the cross-matching channels; with this fixed seed the
+    file deterministically fails to fully resolve at MB scale — the
+    paper's "normal stratum, ambiguous half" persona.
+    """
+    return synthetic_fastq(
+        7000, read_length=100, seed=102, quality_profile="illumina", barcode="ATCACG"
+    )
+
+
+class TestNormalLevel:
+    def test_safe_file_resolves(self, safe_fastq):
+        gz = gzip_zlib(safe_fastq, 6)
+        report = random_access_sequences(gz, len(gz) // 4)
+        assert report.first_resolved_block is not None
+        assert report.delay_bytes is not None
+        assert len(report.sequences) > 100
+        # Safe content: essentially every sequence resolves.
+        assert report.unambiguous_fraction > 0.99
+
+    def test_crossmatch_file_partially_ambiguous(self, cross_fastq):
+        """With DNA letters in qualities/headers, a fraction of
+        sequences stays ambiguous — the paper's normal/highest story."""
+        gz = gzip_zlib(cross_fastq, 6)
+        report = random_access_sequences(gz, len(gz) // 4)
+        frac = report.unambiguous_fraction
+        if frac is None:
+            # No sequence-resolved block within the file (the paper's
+            # normal-stratum delay is 387 MB on average, far beyond an
+            # MB-scale file): ambiguity must be visible in the blocks.
+            ambiguous = sum(a for _, a in report.block_sequences)
+            assert ambiguous > 0
+            assert report.residual_markers > 0
+        else:
+            assert frac < 0.999
+
+    def test_delay_positive_and_bounded(self, safe_fastq):
+        gz = gzip_zlib(safe_fastq, 6)
+        report = random_access_sequences(gz, len(gz) // 3)
+        assert 0 < report.delay_bytes <= report.decompressed
+
+
+class TestLowestLevelWeakPersona:
+    def test_weak_compressor_resolves_fast_and_fully(self, safe_fastq):
+        """The Table I 'lowest' stratum: literal-rich stream, ~100 %
+        unambiguous, small delay."""
+        gz = gzip_compress(safe_fastq[:1_200_000], 1, min_match=8)
+        report = random_access_sequences(gz, len(gz) // 4)
+        assert report.first_resolved_block is not None
+        assert report.unambiguous_fraction == 1.0
+
+
+class TestStreamingMode:
+    def test_streaming_equals_materialised(self, safe_fastq):
+        """The O(32 KiB)-memory path must report identical results."""
+        gz = gzip_zlib(safe_fastq, 6)
+        a = random_access_sequences(gz, len(gz) // 4)
+        b = random_access_sequences(gz, len(gz) // 4, streaming=True)
+        assert a.sync_bit == b.sync_bit
+        assert a.decompressed == b.decompressed
+        assert a.residual_markers == b.residual_markers
+        assert a.first_resolved_block == b.first_resolved_block
+        assert a.delay_bytes == b.delay_bytes
+        assert a.block_sequences == b.block_sequences
+        assert [(s.start, s.end, s.undetermined) for s in a.sequences] == [
+            (s.start, s.end, s.undetermined) for s in b.sequences
+        ]
+
+
+class TestMechanics:
+    def test_offset_beyond_payload_raises(self, safe_fastq):
+        gz = gzip_zlib(safe_fastq, 6)
+        with pytest.raises(RandomAccessError):
+            random_access_sequences(gz, len(gz) + 100)
+
+    def test_offset_inside_header_clamped(self, safe_fastq):
+        gz = gzip_zlib(safe_fastq, 6)
+        report = random_access_sequences(gz, 0, max_output=300_000)
+        assert report.sync_bit >= 80  # past the 10-byte gzip header
+
+    def test_max_output_cap(self, safe_fastq):
+        gz = gzip_zlib(safe_fastq, 6)
+        report = random_access_sequences(gz, len(gz) // 2, max_output=100_000)
+        assert report.decompressed <= 110_000
+
+    def test_block_sequences_accounting(self, safe_fastq):
+        gz = gzip_zlib(safe_fastq, 6)
+        report = random_access_sequences(gz, len(gz) // 4)
+        totals = sum(t for t, _ in report.block_sequences)
+        assert totals > 0
+        # Ambiguous never exceeds total per block.
+        for total, ambiguous in report.block_sequences:
+            assert 0 <= ambiguous <= total
+
+    def test_sequences_only_after_resolved_block(self, safe_fastq):
+        gz = gzip_zlib(safe_fastq, 6)
+        report = random_access_sequences(gz, len(gz) // 4)
+        for s in report.sequences:
+            assert s.start >= report.delay_bytes

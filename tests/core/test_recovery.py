@@ -1,0 +1,128 @@
+"""Forensic recovery API (Section VI-B application)."""
+
+import gzip as stdlib_gzip
+
+import numpy as np
+import pytest
+
+from repro.core.recovery import fastq_block_validator, locate_corruption, recover
+from repro.data import gzip_zlib, parse_fastq, synthetic_fastq
+from repro.deflate.inflate import inflate
+
+
+def _damage_block_header(gz: bytes, block_index: int) -> tuple[bytes, int]:
+    """Destroy the dynamic-header region of one block: structurally
+    detectable damage (unlike symbol-data damage, which can decode to
+    valid-looking text — see recovery.py's silent-corruption caveat)."""
+    full = inflate(gz, start_bit=80)
+    block = full.blocks[block_index]
+    start_byte = block.start_bit // 8
+    out = bytearray(gz)
+    rng = np.random.default_rng(0)
+    out[start_byte + 1 : start_byte + 33] = rng.integers(0, 256, 32).astype(np.uint8).tobytes()
+    return bytes(out), start_byte
+
+
+@pytest.fixture(scope="module")
+def damaged():
+    text = synthetic_fastq(5000, read_length=150, seed=101, quality_profile="safe")
+    gz = gzip_zlib(text, 6)
+    broken, hole_byte = _damage_block_header(gz, 4)
+    return text, broken, hole_byte
+
+
+class TestLocateCorruption:
+    def test_clean_file_reaches_end(self, fastq_small):
+        gz = gzip_zlib(fastq_small, 6)
+        bit = locate_corruption(gz)
+        assert bit > 8 * (len(gz) - 32)
+
+    def test_damage_located_at_broken_block(self, damaged):
+        text, gz, hole_byte = damaged
+        bit = locate_corruption(gz)
+        assert abs(bit // 8 - hole_byte) < 64
+
+
+class TestRecover:
+    def test_head_is_clean_prefix(self, damaged):
+        text, gz, _ = damaged
+        report = recover(gz)
+        assert len(report.head) > 0
+        assert text.startswith(report.head)
+
+    def test_resync_found_after_damage(self, damaged):
+        text, gz, hole_byte = damaged
+        report = recover(gz)
+        assert report.resync_bit is not None
+        assert report.resync_bit > 8 * hole_byte
+
+    def test_tail_symbols_present(self, damaged):
+        _, gz, _ = damaged
+        report = recover(gz)
+        assert report.tail_symbols is not None
+        assert report.tail_undetermined > 0
+        rendered = report.tail_bytes_best_effort
+        assert rendered is not None and b"?" in rendered
+
+    def test_salvaged_sequences_are_real_reads(self, damaged):
+        text, gz, _ = damaged
+        report = recover(gz, min_read_length=140)
+        truth = {r.sequence for r in parse_fastq(text)}
+        assert len(report.sequences) > 100
+        from repro.core.marker import to_bytes
+
+        hits = 0
+        for s in report.sequences[:100]:
+            seq = to_bytes(report.tail_symbols[s.start : s.end])
+            if seq in truth:
+                hits += 1
+        assert hits > 90
+
+    def test_guess_mode_fills_everything(self, damaged):
+        _, gz, _ = damaged
+        report = recover(gz, guess=True)
+        from repro.core.marker import MARKER_BASE
+
+        assert (report.tail_symbols < MARKER_BASE).all()
+
+    def test_unrecoverable_tail(self):
+        """Damage destroying everything after the head: no resync."""
+        text = synthetic_fastq(500, read_length=100, seed=9)
+        gz = bytearray(gzip_zlib(text, 6))
+        rng = np.random.default_rng(1)
+        half = len(gz) // 2
+        gz[half:] = rng.integers(0, 256, len(gz) - half).astype(np.uint8).tobytes()
+        report = recover(bytes(gz), max_resync_search_bits=40_000)
+        assert report.resync_bit is None
+        assert text.startswith(report.head)
+
+
+class TestSilentCorruptionAndValidator:
+    def test_symbol_damage_can_be_silent(self):
+        """Mid-block damage in text-alphabet content decodes to valid
+        ASCII garbage: structurally undetectable (the caveat)."""
+        text = synthetic_fastq(3000, read_length=150, seed=101, quality_profile="safe")
+        gz = bytearray(gzip_zlib(text, 6))
+        hole = len(gz) // 2
+        rng = np.random.default_rng(0)
+        gz[hole : hole + 128] = rng.integers(0, 256, 128).astype(np.uint8).tobytes()
+        out = inflate(bytes(gz), start_bit=80)
+        assert out.final_seen
+        assert out.data != text  # corrupted...
+        bit = locate_corruption(bytes(gz))
+        assert bit > 8 * (len(gz) - 32)  # ...but structurally invisible
+
+    def test_fastq_validator_catches_silent_damage(self):
+        """The content-aware validator detects what structure cannot."""
+        text = synthetic_fastq(3000, read_length=150, seed=101, quality_profile="safe")
+        gz = bytearray(gzip_zlib(text, 6))
+        hole = len(gz) // 2
+        rng = np.random.default_rng(0)
+        gz[hole : hole + 128] = rng.integers(0, 256, 128).astype(np.uint8).tobytes()
+        bit = locate_corruption(bytes(gz), validator=fastq_block_validator)
+        assert bit < 8 * (hole + 2048)
+
+    def test_validator_passes_clean_file(self, fastq_medium):
+        gz = gzip_zlib(fastq_medium, 6)
+        bit = locate_corruption(gz, validator=fastq_block_validator)
+        assert bit > 8 * (len(gz) - 32)

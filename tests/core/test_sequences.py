@@ -1,0 +1,105 @@
+"""Heuristic DNA sequence extraction (Appendix X-B grammar)."""
+
+import numpy as np
+import pytest
+
+from repro.core.marker import MARKER_BASE, from_bytes
+from repro.core.sequences import classify_symbols, extract_sequences
+
+
+def syms(text: str, marker_positions=()) -> np.ndarray:
+    """Build a symbol array from text; '?' become markers."""
+    arr = from_bytes(text.encode())
+    for i, ch in enumerate(text):
+        if ch == "?":
+            arr[i] = MARKER_BASE + i
+    return arr
+
+
+class TestGrammar:
+    def test_simple_sequence_between_newlines(self):
+        arr = syms("\nACGTACGTACGTACGTACGTACGT\n")
+        seqs = extract_sequences(arr, min_length=10)
+        assert len(seqs) == 1
+        assert seqs[0].start == 1
+        assert seqs[0].end == 25
+        assert seqs[0].is_unambiguous
+
+    def test_terminators_trimmed(self):
+        arr = syms("\nAAAAACCCCCGGGGGTTTTT\n")
+        (s,) = extract_sequences(arr, min_length=5)
+        assert s.length == 20  # newlines not included
+
+    def test_sequence_with_undetermined_inside(self):
+        arr = syms("\nACGTACGTAC??GTACGTACGT\n")
+        (s,) = extract_sequences(arr, min_length=10)
+        assert s.undetermined == 2
+        assert not s.is_unambiguous
+
+    def test_marker_as_terminator(self):
+        # U can terminate a sequence (grammar: T is newline or undetermined).
+        arr = syms("?ACGTACGTACGTACGTACGT?")
+        (s,) = extract_sequences(arr, min_length=10)
+        assert s.start == 1 and s.end == 21
+
+    def test_no_terminator_no_match(self):
+        # DNA glued to other text without T boundaries is rejected.
+        arr = syms("xACGTACGTACGTACGTACGTACGTx")
+        assert extract_sequences(arr, min_length=5) == []
+
+    def test_min_length_filter(self):
+        arr = syms("\nACGT\n" + "ACGTACGTACGTACGTACGT\n")
+        seqs = extract_sequences(arr, min_length=10)
+        assert len(seqs) == 1
+        assert seqs[0].length == 20
+
+    def test_max_length_filter(self):
+        arr = syms("\n" + "ACGT" * 100 + "\n")
+        assert extract_sequences(arr, min_length=10, max_length=50) == []
+
+    def test_n_is_a_nucleotide(self):
+        arr = syms("\nACGTNNNNACGTACGTACGTN\n")
+        (s,) = extract_sequences(arr, min_length=10)
+        assert s.length == 21
+
+    def test_lowercase_not_matched(self):
+        arr = syms("\nacgtacgtacgtacgtacgt\n")
+        assert extract_sequences(arr, min_length=5) == []
+
+    def test_multiple_sequences(self):
+        arr = syms("\nACGTACGTACGTACGTACGTA\nheader line\nTTTTGGGGCCCCAAAATTTTG\n")
+        seqs = extract_sequences(arr, min_length=10)
+        assert len(seqs) == 2
+
+    def test_quality_lookalike_needs_boundaries(self):
+        """Quality fragments that look like DNA but sit mid-line are
+        filtered by the terminator requirement."""
+        arr = syms("\nIIIACGTACGTACGTACGTIII\n")
+        assert extract_sequences(arr, min_length=5) == []
+
+    def test_alternating_undetermined_runs(self):
+        # D+ (U+ D+)* with several alternations.
+        arr = syms("\nACG??TACG??TAC??GTACGT\n")
+        (s,) = extract_sequences(arr, min_length=10)
+        assert s.undetermined == 6
+
+    def test_empty_input(self):
+        assert extract_sequences(np.zeros(0, dtype=np.int32)) == []
+
+
+class TestClassify:
+    def test_class_string(self):
+        arr = syms("A?x\n")
+        classes = classify_symbols(arr)
+        assert classes == b"DU.T"
+
+    def test_real_fastq_extraction(self, fastq_small):
+        """On a clean FASTQ every read is recovered exactly."""
+        from repro.data import parse_fastq
+
+        arr = from_bytes(fastq_small)
+        seqs = extract_sequences(arr, min_length=20)
+        records = parse_fastq(fastq_small)
+        assert len(seqs) == len(records)
+        for s, r in zip(seqs, records):
+            assert fastq_small[s.start : s.end] == r.sequence

@@ -1,0 +1,151 @@
+"""Block-start detection: exhaustive probing with Appendix X-A checks."""
+
+import pytest
+
+from repro.core.sync import find_block_start, prescreen, probe_block
+from repro.deflate.inflate import inflate
+from repro.errors import SyncError
+from tests.conftest import zlib_raw
+
+
+@pytest.fixture(scope="module")
+def stream(fastq_medium):
+    raw = zlib_raw(fastq_medium, 6)
+    full = inflate(raw)
+    assert len(full.blocks) >= 4
+    return raw, full
+
+
+class TestProbeBlock:
+    def test_true_starts_accepted(self, stream):
+        raw, full = stream
+        for b in full.blocks[1:-1][:3]:
+            assert probe_block(raw, b.start_bit)
+
+    def test_shifted_offsets_rejected(self, stream):
+        raw, full = stream
+        b = full.blocks[1]
+        for delta in (1, 2, 3, 5, 17):
+            assert not probe_block(raw, b.start_bit + delta)
+
+    def test_final_block_rejected(self, stream):
+        raw, full = stream
+        assert not probe_block(raw, full.blocks[-1].start_bit)
+
+
+class TestFindBlockStart:
+    def test_finds_exact_next_start(self, stream):
+        """Searching from just after block k's start must land exactly
+        on block k+1's start."""
+        raw, full = stream
+        b1, b2 = full.blocks[1], full.blocks[2]
+        sync = find_block_start(raw, start_bit=b1.start_bit + 1)
+        assert sync.bit_offset == b2.start_bit
+
+    def test_search_from_zero_finds_first(self, stream):
+        raw, full = stream
+        sync = find_block_start(raw, start_bit=0)
+        assert sync.bit_offset == full.blocks[0].start_bit == 0
+
+    def test_candidates_counted(self, stream):
+        raw, full = stream
+        b1, b2 = full.blocks[1], full.blocks[2]
+        sync = find_block_start(raw, start_bit=b1.start_bit + 1)
+        assert sync.candidates_tried == b2.start_bit - b1.start_bit
+
+    def test_max_search_bits_gives_up(self, stream):
+        raw, full = stream
+        b1 = full.blocks[1]
+        with pytest.raises(SyncError):
+            find_block_start(raw, start_bit=b1.start_bit + 1, max_search_bits=10)
+
+    def test_no_block_in_random_noise(self):
+        import os
+
+        noise = os.urandom(4000)
+        with pytest.raises(SyncError):
+            find_block_start(noise, start_bit=0, max_search_bits=6000)
+
+    def test_near_end_confirmation_via_final_probe(self, stream):
+        """A start whose confirmation run hits the stream's BFINAL block
+        must still be confirmed (hit_final_probe path)."""
+        raw, full = stream
+        penult = full.blocks[-2]
+        sync = find_block_start(raw, start_bit=penult.start_bit)
+        assert sync.bit_offset == penult.start_bit
+        assert sync.blocks_confirmed >= 1
+
+    def test_end_bit_respected(self, stream):
+        raw, full = stream
+        b2 = full.blocks[2]
+        with pytest.raises(SyncError):
+            find_block_start(raw, start_bit=b2.start_bit - 8, end_bit=b2.start_bit)
+
+    def test_all_interior_block_starts_found(self, stream):
+        """Every non-final block boundary is recoverable by searching
+        from one bit past the previous boundary."""
+        raw, full = stream
+        for prev, cur in zip(full.blocks[:-1], full.blocks[1:-1]):
+            sync = find_block_start(raw, start_bit=prev.start_bit + 1)
+            assert sync.bit_offset == cur.start_bit
+
+    def test_elapsed_recorded(self, stream):
+        raw, full = stream
+        sync = find_block_start(raw, start_bit=full.blocks[1].start_bit)
+        assert sync.elapsed >= 0.0
+
+
+class TestPrescreen:
+    def test_never_rejects_true_block_starts(self, stream):
+        """The fast screen must be sound: every genuine block start
+        passes (completeness is the full probe's job)."""
+        raw, full = stream
+        for b in full.blocks[:-1]:
+            assert prescreen(raw, b.start_bit), f"true start {b.start_bit} screened out"
+
+    def test_rejects_final_block(self, stream):
+        raw, full = stream
+        assert not prescreen(raw, full.blocks[-1].start_bit)
+
+    def test_rejection_rate_on_shifted_offsets(self, stream):
+        """The screen's value: the large majority of wrong offsets die
+        in the cheap path."""
+        raw, full = stream
+        base = full.blocks[2].start_bit
+        rejected = sum(
+            0 if prescreen(raw, base + d) else 1 for d in range(1, 2001)
+        )
+        assert rejected > 1700  # > 85 %
+
+    def test_near_end_of_buffer(self, stream):
+        raw, _ = stream
+        for bit in range(8 * len(raw) - 20, 8 * len(raw)):
+            prescreen(raw, bit)  # must not raise
+
+    def test_stored_block_screen(self):
+        from repro.deflate.bitio import BitWriter
+
+        w = BitWriter()
+        w.write(0, 1)
+        w.write(0, 2)  # stored
+        w.align_to_byte()
+        w.write(5000, 16)
+        w.write(5000 ^ 0xFFFF, 16)
+        w.write_bytes(b"A" * 5000)
+        data = w.getvalue()
+        assert prescreen(data, 0)
+        bad = bytearray(data)
+        bad[3] ^= 0xFF  # break NLEN
+        assert not prescreen(bytes(bad), 0)
+
+
+class TestRobustnessAcrossLevels:
+    @pytest.mark.parametrize("level", [1, 9])
+    def test_sync_works_on_other_levels(self, level, fastq_medium):
+        raw = zlib_raw(fastq_medium, level)
+        full = inflate(raw)
+        if len(full.blocks) < 3:
+            pytest.skip("stream has too few blocks at this level")
+        b = full.blocks[1]
+        sync = find_block_start(raw, start_bit=b.start_bit - 40)
+        assert sync.bit_offset == b.start_bit

@@ -1,0 +1,223 @@
+"""Unit and property tests for the LSB-first bit reader/writer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deflate.bitio import BitReader, BitWriter, reverse_bits
+from repro.errors import BitstreamError
+
+
+class TestReverseBits:
+    def test_zero(self):
+        assert reverse_bits(0, 8) == 0
+
+    def test_single_bit(self):
+        assert reverse_bits(1, 4) == 0b1000
+
+    def test_palindrome(self):
+        assert reverse_bits(0b1001, 4) == 0b1001
+
+    def test_known_value(self):
+        assert reverse_bits(0b110, 3) == 0b011
+
+    def test_involution(self):
+        for v in range(256):
+            assert reverse_bits(reverse_bits(v, 8), 8) == v
+
+
+class TestBitReaderBasics:
+    def test_reads_lsb_first(self):
+        # 0b10110010 read 3+5 bits LSB-first.
+        r = BitReader(bytes([0b10110010]))
+        assert r.read(3) == 0b010
+        assert r.read(5) == 0b10110
+
+    def test_multi_byte(self):
+        r = BitReader(bytes([0xFF, 0x00, 0xAA]))
+        assert r.read(8) == 0xFF
+        assert r.read(8) == 0x00
+        assert r.read(8) == 0xAA
+
+    def test_read_spanning_bytes(self):
+        r = BitReader(bytes([0b11110000, 0b00001111]))
+        assert r.read(12) == 0b111111110000
+
+    def test_read_zero_bits(self):
+        r = BitReader(b"\xff")
+        assert r.read(0) == 0
+        assert r.tell_bits() == 0
+
+    def test_tell_bits_tracks_position(self):
+        r = BitReader(b"\xab\xcd\xef")
+        assert r.tell_bits() == 0
+        r.read(5)
+        assert r.tell_bits() == 5
+        r.read(11)
+        assert r.tell_bits() == 16
+
+    def test_bits_remaining(self):
+        r = BitReader(b"\x00\x00")
+        assert r.bits_remaining() == 16
+        r.read(7)
+        assert r.bits_remaining() == 9
+
+    def test_start_bit_offset(self):
+        data = bytes([0b10101010, 0b11001100])
+        r = BitReader(data, start_bit=3)
+        whole = BitReader(data)
+        whole.read(3)
+        assert r.read(10) == whole.read(10)
+
+    def test_start_bit_out_of_range(self):
+        with pytest.raises(BitstreamError):
+            BitReader(b"\x00", start_bit=9)
+
+    def test_read_past_end_raises(self):
+        r = BitReader(b"\xff")
+        r.read(8)
+        with pytest.raises(BitstreamError):
+            r.read(1)
+
+    def test_memoryview_input(self):
+        r = BitReader(memoryview(b"\x0f"))
+        assert r.read(4) == 0x0F
+
+
+class TestPeekConsume:
+    def test_peek_does_not_advance(self):
+        r = BitReader(b"\xa5")
+        assert r.peek(4) == r.peek(4)
+        assert r.tell_bits() == 0
+
+    def test_peek_then_consume(self):
+        r = BitReader(bytes([0b1101_0110]))
+        assert r.peek(8) == 0b11010110
+        r.consume(3)
+        assert r.peek(5) == 0b11010
+
+    def test_peek_past_end_zero_pads(self):
+        r = BitReader(b"\x01")
+        assert r.peek(15) == 1  # upper bits read as zero
+
+    def test_consume_past_end_raises(self):
+        r = BitReader(b"\x01")
+        r.peek(15)
+        with pytest.raises(BitstreamError):
+            r.consume(15)
+
+
+class TestAlignmentAndBytes:
+    def test_align_to_byte(self):
+        r = BitReader(b"\xff\x42")
+        r.read(3)
+        r.align_to_byte()
+        assert r.tell_bits() == 8
+        assert r.read_bytes(1) == b"\x42"
+
+    def test_align_when_already_aligned(self):
+        r = BitReader(b"\x11\x22")
+        r.read(8)
+        r.align_to_byte()
+        assert r.tell_bits() == 8
+
+    def test_read_bytes_requires_alignment(self):
+        r = BitReader(b"\xff\xff")
+        r.read(1)
+        with pytest.raises(BitstreamError):
+            r.read_bytes(1)
+
+    def test_read_bytes_past_end(self):
+        r = BitReader(b"\x00")
+        with pytest.raises(BitstreamError):
+            r.read_bytes(2)
+
+    def test_reads_continue_after_read_bytes(self):
+        r = BitReader(bytes([0x01, 0x02, 0b101]))
+        assert r.read_bytes(2) == b"\x01\x02"
+        assert r.read(3) == 0b101
+
+    def test_seek_bits(self):
+        data = bytes(range(16))
+        r = BitReader(data)
+        r.read(37)
+        r.seek_bits(8)
+        assert r.read(8) == 1
+
+
+class TestBitWriter:
+    def test_simple_bytes(self):
+        w = BitWriter()
+        w.write(0xAB, 8)
+        w.write(0xCD, 8)
+        assert w.getvalue() == b"\xab\xcd"
+
+    def test_partial_byte_zero_padded(self):
+        w = BitWriter()
+        w.write(0b101, 3)
+        assert w.getvalue() == bytes([0b101])
+
+    def test_value_too_wide_raises(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write(4, 2)
+
+    def test_align_fill_ones(self):
+        w = BitWriter()
+        w.write(0, 1)
+        w.align_to_byte(fill=1)
+        assert w.getvalue() == bytes([0b11111110])
+
+    def test_write_bytes_requires_alignment(self):
+        w = BitWriter()
+        w.write(1, 1)
+        with pytest.raises(ValueError):
+            w.write_bytes(b"x")
+
+    def test_tell_bits(self):
+        w = BitWriter()
+        w.write(0, 5)
+        assert w.tell_bits() == 5
+        w.write(0, 5)
+        assert w.tell_bits() == 10
+
+    def test_write_reversed_matches_manual(self):
+        w1 = BitWriter()
+        w1.write_reversed(0b110, 3)
+        w2 = BitWriter()
+        w2.write(0b011, 3)
+        assert w1.getvalue() == w2.getvalue()
+
+
+class TestRoundTrip:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=2**16 - 1),
+                      st.integers(min_value=1, max_value=16)),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_writer_reader_round_trip(self, fields):
+        """Writing arbitrary (value, width) fields and reading them back."""
+        w = BitWriter()
+        expected = []
+        for value, width in fields:
+            value &= (1 << width) - 1
+            w.write(value, width)
+            expected.append((value, width))
+        r = BitReader(w.getvalue())
+        for value, width in expected:
+            assert r.read(width) == value
+
+    @given(st.binary(min_size=1, max_size=64),
+           st.integers(min_value=0, max_value=7))
+    @settings(max_examples=100, deadline=None)
+    def test_start_bit_equals_skip(self, data, skew):
+        """BitReader(data, k) sees exactly what read(k)-then-read sees."""
+        a = BitReader(data, start_bit=skew)
+        b = BitReader(data)
+        b.read(skew)
+        n = min(32, a.bits_remaining())
+        assert a.read(n) == b.read(n)

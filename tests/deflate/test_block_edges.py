@@ -1,0 +1,213 @@
+"""Hand-assembled DEFLATE streams: block-format edge cases.
+
+These tests build streams bit by bit (using the compressor's own
+header emitters plus manual symbol emission) to reach corners that
+natural data rarely produces: empty dynamic blocks, cross-boundary
+code-length repeats, invalid distance/length symbols, degenerate
+one-symbol codes.
+"""
+
+import zlib
+
+import pytest
+
+from repro.deflate import constants as C
+from repro.deflate.bitio import BitWriter
+from repro.deflate.deflate import _build_dynamic_header, _emit_dynamic_header
+from repro.deflate.huffman import HuffmanEncoder
+from repro.deflate.inflate import inflate
+from repro.errors import DeflateError, HuffmanError
+
+
+def dynamic_block(lit_lengths, dist_lengths, emit, bfinal=True) -> bytes:
+    """Assemble one dynamic block; ``emit(writer, lit_enc, dist_enc)``
+    writes the symbol stream (EOB included by the caller)."""
+    w = BitWriter()
+    w.write(1 if bfinal else 0, 1)
+    w.write(C.BTYPE_DYNAMIC, 2)
+    hdr = _build_dynamic_header(list(lit_lengths), list(dist_lengths))
+    _emit_dynamic_header(w, hdr)
+    lit_enc = HuffmanEncoder(list(lit_lengths))
+    dist_enc = HuffmanEncoder(list(dist_lengths)) if any(dist_lengths) else None
+    emit(w, lit_enc, dist_enc)
+    return w.getvalue()
+
+
+def simple_litlen(symbols: dict[int, int]) -> list[int]:
+    """Code lengths giving each mapped symbol the requested length."""
+    lengths = [0] * C.NUM_LITLEN_SYMBOLS
+    for sym, l in symbols.items():
+        lengths[sym] = l
+    return lengths
+
+
+class TestEmptyAndDegenerate:
+    def test_empty_dynamic_block(self):
+        """A block containing only the end-of-block symbol."""
+        lengths = simple_litlen({C.END_OF_BLOCK: 1, ord("x"): 1})
+        raw = dynamic_block(
+            lengths, [1] + [0] * 31,
+            lambda w, le, de: le.write(w, C.END_OF_BLOCK),
+        )
+        result = inflate(raw)
+        assert result.data == b""
+        assert result.final_seen
+        # zlib agrees the stream is valid.
+        assert zlib.decompress(raw, wbits=-15) == b""
+
+    def test_single_literal_block(self):
+        lengths = simple_litlen({C.END_OF_BLOCK: 1, ord("Q"): 1})
+
+        def emit(w, le, de):
+            le.write(w, ord("Q"))
+            le.write(w, C.END_OF_BLOCK)
+
+        raw = dynamic_block(lengths, [1] + [0] * 31, emit)
+        assert inflate(raw).data == b"Q"
+        assert zlib.decompress(raw, wbits=-15) == b"Q"
+
+    def test_one_bit_distance_code(self):
+        """Degenerate single-symbol distance code (RFC-permitted)."""
+        lengths = simple_litlen({C.END_OF_BLOCK: 2, ord("a"): 2, ord("b"): 2, 257: 2})
+        dist_lengths = [1] + [0] * 31  # only distance code 0 (dist=1)
+
+        def emit(w, le, de):
+            le.write(w, ord("a"))
+            le.write(w, ord("b"))
+            le.write(w, 257)   # length 3
+            de.write(w, 0)     # distance 1 -> "bbb"
+            le.write(w, C.END_OF_BLOCK)
+
+        raw = dynamic_block(lengths, dist_lengths, emit)
+        assert inflate(raw).data == b"abbbb"
+        assert zlib.decompress(raw, wbits=-15) == b"abbbb"
+
+
+class TestInvalidSymbols:
+    def test_invalid_distance_symbol_30(self):
+        """Distance codes 30/31 may be *declared* but never used."""
+        lengths = simple_litlen({C.END_OF_BLOCK: 2, ord("a"): 2, 257: 2})
+        dist_lengths = [0] * 32
+        dist_lengths[0] = 1
+        dist_lengths[30] = 1  # declared
+
+        def emit(w, le, de):
+            le.write(w, ord("a"))
+            le.write(w, 257)
+            de.write(w, 30)  # invalid use
+            le.write(w, C.END_OF_BLOCK)
+
+        raw = dynamic_block(lengths, dist_lengths, emit)
+        with pytest.raises(DeflateError):
+            inflate(raw)
+        with pytest.raises(zlib.error):
+            zlib.decompress(raw, wbits=-15)
+
+    def test_invalid_length_symbol_286(self):
+        lengths = simple_litlen({C.END_OF_BLOCK: 2, ord("a"): 2, 286: 2})
+        dist_lengths = [1] + [0] * 31
+
+        def emit(w, le, de):
+            le.write(w, ord("a"))
+            le.write(w, 286)  # reserved litlen symbol
+            le.write(w, C.END_OF_BLOCK)
+
+        raw = dynamic_block(lengths, dist_lengths, emit)
+        with pytest.raises(DeflateError):
+            inflate(raw)
+        with pytest.raises(zlib.error):
+            zlib.decompress(raw, wbits=-15)
+
+    def test_match_with_no_distance_code(self):
+        """HDIST table all-zero is legal only without matches."""
+        lengths = simple_litlen({C.END_OF_BLOCK: 2, ord("a"): 2, 257: 2})
+
+        def emit(w, le, de):
+            le.write(w, ord("a"))
+            le.write(w, 257)   # length... but no distance table
+            # Write a stray bit so the distance decode has something.
+            w.write(0, 1)
+            le.write(w, C.END_OF_BLOCK)
+
+        raw = dynamic_block(lengths, [0] * 32, emit)
+        with pytest.raises(DeflateError):
+            inflate(raw)
+
+    def test_distance_beyond_history(self):
+        """A distance reaching before stream start must fail (byte
+        domain; strict mode assumes a context instead)."""
+        lengths = simple_litlen({C.END_OF_BLOCK: 2, ord("a"): 2, 257: 2})
+        dist_lengths = [0] * 32
+        dist_lengths[10] = 1  # base distance 33, no extra bits... has 4 extra
+
+        def emit(w, le, de):
+            le.write(w, ord("a"))
+            le.write(w, 257)
+            de.write(w, 10)
+            w.write(0, C.DIST_EXTRA_BITS[10])  # distance = 33 > history 1
+            le.write(w, C.END_OF_BLOCK)
+
+        raw = dynamic_block(lengths, dist_lengths, emit)
+        with pytest.raises(DeflateError):
+            inflate(raw)
+        with pytest.raises(zlib.error):
+            zlib.decompress(raw, wbits=-15)
+
+
+class TestHeaderBoundaries:
+    def test_repeat_crossing_litlen_dist_boundary(self):
+        """RFC: code-length repeats may run from the litlen table into
+        the dist table.  Our header builder RLE-encodes the combined
+        sequence, so identical trailing/leading lengths exercise it."""
+        # litlen ends with a run of 2-length codes; dist begins with
+        # 2-length codes: the RLE must merge across the boundary.
+        # (EOB gets length 1 so the litlen code is complete.)
+        lengths = simple_litlen({C.END_OF_BLOCK: 1, ord("a"): 2, ord("b"): 2})
+        dist_lengths = [2, 2, 2, 2] + [0] * 28
+
+        def emit(w, le, de):
+            le.write(w, ord("a"))
+            le.write(w, C.END_OF_BLOCK)
+
+        raw = dynamic_block(lengths, dist_lengths, emit)
+        assert inflate(raw).data == b"a"
+        assert zlib.decompress(raw, wbits=-15) == b"a"
+
+    def test_max_length_and_distance_codes(self):
+        """Length 258 (code 285) at distance 24577+ (code 29)."""
+        prefix = bytes(range(256)) * 100  # 25.6 KB history
+        body = prefix[:258]
+        data = prefix + body
+        from repro.deflate.deflate import compress_tokens
+        from repro.deflate.tokens import TokenStream
+
+        ts = TokenStream()
+        for byte in prefix:
+            ts.add_literal(byte)
+        ts.add_match(len(prefix), 258)
+        raw = compress_tokens(data, ts)
+        assert zlib.decompress(raw, wbits=-15) == data
+        assert inflate(raw).data == data
+
+    def test_all_distance_codes_round_trip(self):
+        """Exercise every distance code 0..29 through both codecs."""
+        from repro.deflate.deflate import compress_tokens
+        from repro.deflate.tokens import TokenStream
+
+        history = bytes((i * 37) % 251 for i in range(32768))
+        ts = TokenStream()
+        out = bytearray()
+        for byte in history:
+            ts.add_literal(byte)
+        out += history
+        for code in range(30):
+            dist = C.DIST_BASE[code]
+            ts.add_match(dist, 3)
+            # LZ77 semantics: byte-by-byte so overlapping (dist < 3)
+            # copies replicate progressively.
+            for _ in range(3):
+                out.append(out[len(out) - dist])
+        data = bytes(out)
+        raw = compress_tokens(data, ts)
+        assert zlib.decompress(raw, wbits=-15) == data
+        assert inflate(raw).data == data

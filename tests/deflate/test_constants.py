@@ -1,0 +1,117 @@
+"""The RFC 1951 constant tables, validated against the specification."""
+
+import numpy as np
+import pytest
+
+from repro.deflate import constants as C
+
+
+class TestLengthTables:
+    def test_29_length_codes(self):
+        assert len(C.LENGTH_BASE) == len(C.LENGTH_EXTRA_BITS) == 29
+
+    def test_length_ranges_tile_3_to_258(self):
+        """Every length in [3, 258] is encodable by exactly the code
+        LENGTH_TO_CODE assigns, and the ranges are contiguous."""
+        covered = set()
+        for idx, (base, extra) in enumerate(zip(C.LENGTH_BASE, C.LENGTH_EXTRA_BITS)):
+            hi = base + (1 << extra) - 1
+            if idx == 28:  # code 285: exactly 258
+                hi = base
+            covered.update(range(base, hi + 1))
+        assert covered == set(range(3, 259))
+
+    def test_rfc_spot_values(self):
+        # RFC 1951 section 3.2.5 table rows.
+        assert C.LENGTH_BASE[0] == 3 and C.LENGTH_EXTRA_BITS[0] == 0    # code 257
+        assert C.LENGTH_BASE[8] == 11 and C.LENGTH_EXTRA_BITS[8] == 1   # code 265
+        assert C.LENGTH_BASE[20] == 67 and C.LENGTH_EXTRA_BITS[20] == 4  # code 277
+        assert C.LENGTH_BASE[28] == 258 and C.LENGTH_EXTRA_BITS[28] == 0  # code 285
+
+    def test_length_to_code_inverse(self):
+        for length in range(3, 259):
+            code = int(C.LENGTH_TO_CODE[length])
+            idx = code - 257
+            base = C.LENGTH_BASE[idx]
+            extra = C.LENGTH_EXTRA_BITS[idx]
+            assert base <= length <= base + (1 << extra) - 1
+
+    def test_258_uses_code_285(self):
+        """zlib/gzip always encode 258 with the zero-extra-bit code."""
+        assert int(C.LENGTH_TO_CODE[258]) == 285
+
+
+class TestDistanceTables:
+    def test_30_distance_codes(self):
+        assert len(C.DIST_BASE) == len(C.DIST_EXTRA_BITS) == 30
+
+    def test_distance_ranges_tile_1_to_32768(self):
+        covered = set()
+        for base, extra in zip(C.DIST_BASE, C.DIST_EXTRA_BITS):
+            covered.update(range(base, base + (1 << extra)))
+        assert covered == set(range(1, 32769))
+
+    def test_rfc_spot_values(self):
+        assert C.DIST_BASE[0] == 1 and C.DIST_EXTRA_BITS[0] == 0
+        assert C.DIST_BASE[9] == 25 and C.DIST_EXTRA_BITS[9] == 3
+        assert C.DIST_BASE[29] == 24577 and C.DIST_EXTRA_BITS[29] == 13
+
+    def test_dist_to_code_inverse(self):
+        for dist in (1, 2, 4, 5, 24, 25, 192, 193, 24576, 24577, 32768):
+            code = int(C.DIST_TO_CODE[dist])
+            base = C.DIST_BASE[code]
+            extra = C.DIST_EXTRA_BITS[code]
+            assert base <= dist <= base + (1 << extra) - 1
+
+
+class TestFixedCodes:
+    def test_fixed_litlen_structure(self):
+        """RFC 1951 3.2.6: 0-143 -> 8 bits, 144-255 -> 9, 256-279 -> 7,
+        280-287 -> 8."""
+        lengths = C.fixed_litlen_lengths()
+        assert len(lengths) == 288
+        assert all(l == 8 for l in lengths[0:144])
+        assert all(l == 9 for l in lengths[144:256])
+        assert all(l == 7 for l in lengths[256:280])
+        assert all(l == 8 for l in lengths[280:288])
+
+    def test_fixed_dist_five_bits(self):
+        assert C.fixed_dist_lengths() == (5,) * 32
+
+    def test_fixed_codes_complete(self):
+        from repro.deflate.huffman import kraft_sum
+
+        total, max_bits = kraft_sum(C.fixed_litlen_lengths())
+        assert total == 1 << max_bits
+
+
+class TestCodelenOrder:
+    def test_rfc_order(self):
+        assert C.CODELEN_ORDER == (
+            16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+        )
+
+    def test_permutation_of_alphabet(self):
+        assert sorted(C.CODELEN_ORDER) == list(range(19))
+
+
+class TestAsciiMask:
+    def test_allowed_set(self):
+        assert C.ASCII_MASK[9] and C.ASCII_MASK[10] and C.ASCII_MASK[13]
+        assert C.ASCII_MASK[32] and C.ASCII_MASK[126]
+        assert not C.ASCII_MASK[0]
+        assert not C.ASCII_MASK[127]
+        assert not C.ASCII_MASK[255]
+
+    def test_mask_matches_set(self):
+        for b in range(256):
+            assert bool(C.ASCII_MASK[b]) == (b in C.ASCII_ALLOWED)
+
+
+class TestWindowGeometry:
+    def test_paper_constants(self):
+        assert C.WINDOW_SIZE == 32768
+        assert C.MIN_MATCH == 3
+        assert C.MAX_MATCH == 258
+        assert C.PROBE_MIN_BLOCK == 1024
+        assert C.PROBE_MAX_BLOCK == 4 * 1024 * 1024

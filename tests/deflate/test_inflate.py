@@ -1,0 +1,209 @@
+"""Inflate: decoding zlib-produced streams, block handling, strict mode."""
+
+import zlib
+
+import pytest
+
+from repro.deflate import constants as C
+from repro.deflate.bitio import BitWriter
+from repro.deflate.inflate import inflate, inflate_bytes, read_block_header
+from repro.deflate.bitio import BitReader
+from repro.errors import (
+    AsciiCheckError,
+    BlockHeaderError,
+    BlockSizeError,
+    DeflateError,
+)
+from tests.conftest import zlib_raw
+
+
+class TestDecodeZlibStreams:
+    @pytest.mark.parametrize("level", [1, 4, 6, 9])
+    def test_dna(self, level, dna_100k):
+        raw = zlib_raw(dna_100k, level)
+        assert inflate_bytes(raw) == dna_100k
+
+    @pytest.mark.parametrize("level", [1, 6, 9])
+    def test_fastq(self, level, fastq_small):
+        raw = zlib_raw(fastq_small, level)
+        assert inflate_bytes(raw) == fastq_small
+
+    def test_binary_data(self):
+        data = bytes(range(256)) * 300
+        assert inflate_bytes(zlib_raw(data, 6)) == data
+
+    def test_empty_input(self):
+        assert inflate_bytes(zlib_raw(b"", 6)) == b""
+
+    def test_single_byte(self):
+        assert inflate_bytes(zlib_raw(b"x", 6)) == b"x"
+
+    def test_level0_stored_blocks(self):
+        data = b"stored-data" * 20000  # > 64 KiB, multiple stored blocks
+        raw = zlib_raw(data, 0)
+        result = inflate(raw)
+        assert result.data == data
+        assert all(b.btype == C.BTYPE_STORED for b in result.blocks)
+
+    def test_incompressible_may_use_stored(self):
+        import os
+
+        data = os.urandom(100_000)
+        assert inflate_bytes(zlib_raw(data, 6)) == data
+
+    def test_fixed_block_stream(self):
+        # zlib uses fixed blocks for tiny inputs at some levels; build
+        # one explicitly with a Z_FIXED strategy.
+        co = zlib.compressobj(6, zlib.DEFLATED, -15, 8, zlib.Z_FIXED)
+        data = b"fixed huffman block content 123"
+        raw = co.compress(data) + co.flush()
+        result = inflate(raw)
+        assert result.data == data
+        assert result.blocks[0].btype == C.BTYPE_FIXED
+
+
+class TestBlockAccounting:
+    def test_block_bits_contiguous(self, fastq_medium):
+        raw = zlib_raw(fastq_medium, 6)
+        result = inflate(raw)
+        assert len(result.blocks) > 3
+        for prev, cur in zip(result.blocks, result.blocks[1:]):
+            assert prev.end_bit == cur.start_bit
+            assert prev.out_end == cur.out_start
+        assert result.blocks[-1].bfinal
+        assert result.final_seen
+
+    def test_decode_from_block_boundary_with_window(self, fastq_medium):
+        """Resuming mid-stream with the right context is exact."""
+        raw = zlib_raw(fastq_medium, 6)
+        full = inflate(raw)
+        b = full.blocks[2]
+        window = full.data[: b.out_start][-32768:]
+        tail = inflate(raw, start_bit=b.start_bit, window=window)
+        assert tail.data == full.data[b.out_start :]
+
+    def test_max_blocks_limit(self, fastq_medium):
+        raw = zlib_raw(fastq_medium, 6)
+        result = inflate(raw, max_blocks=2)
+        assert len(result.blocks) == 2
+        assert not result.final_seen
+
+    def test_max_output_limit(self, fastq_medium):
+        raw = zlib_raw(fastq_medium, 6)
+        result = inflate(raw, max_output=10)
+        # Stops at the first block boundary past the limit.
+        assert len(result.blocks) == 1
+
+    def test_token_capture_expands_to_output(self, dna_100k):
+        raw = zlib_raw(dna_100k, 6)
+        result = inflate(raw, capture_tokens=True)
+        stats = result.tokens.stats()
+        assert stats.output_length == len(dna_100k)
+        assert stats.num_matches > 0
+
+    def test_window_property(self, fastq_medium):
+        raw = zlib_raw(fastq_medium, 6)
+        result = inflate(raw)
+        assert result.window == fastq_medium[-32768:]
+
+
+class TestCorruptStreams:
+    def test_reserved_btype(self):
+        w = BitWriter()
+        w.write(0, 1)  # BFINAL=0
+        w.write(3, 2)  # reserved
+        with pytest.raises(BlockHeaderError):
+            inflate(w.getvalue())
+
+    def test_stored_len_nlen_mismatch(self):
+        w = BitWriter()
+        w.write(1, 1)
+        w.write(C.BTYPE_STORED, 2)
+        w.align_to_byte()
+        w.write(5, 16)
+        w.write(5, 16)  # should be ~5
+        with pytest.raises(BlockHeaderError):
+            inflate(w.getvalue())
+
+    def test_truncated_stream_raises_or_stops(self, dna_100k):
+        raw = zlib_raw(dna_100k, 6)
+        with pytest.raises(DeflateError):
+            inflate(raw[: len(raw) // 2], strict=True)
+
+    def test_bit_flip_detected_or_differs(self, fastq_small):
+        """Flipping a payload bit must never silently produce the same
+        output (either an error or different bytes)."""
+        raw = bytearray(zlib_raw(fastq_small, 6))
+        raw[len(raw) // 3] ^= 0x10
+        try:
+            out = inflate_bytes(bytes(raw))
+        except DeflateError:
+            return
+        assert out != fastq_small
+
+    def test_hdist_too_large(self):
+        w = BitWriter()
+        w.write(0, 1)
+        w.write(C.BTYPE_DYNAMIC, 2)
+        w.write(0, 5)    # HLIT = 257
+        w.write(31, 5)   # HDIST = 32 (> 30)
+        w.write(0, 4)
+        with pytest.raises(BlockHeaderError):
+            read_block_header(BitReader(w.getvalue()))
+
+
+class TestStrictMode:
+    def test_rejects_final_block_as_candidate(self, fastq_small):
+        raw = zlib_raw(fastq_small, 6)
+        result = inflate(raw)
+        final = result.blocks[-1]
+        with pytest.raises(BlockHeaderError):
+            inflate(raw, start_bit=final.start_bit, strict=True)
+
+    def test_accepts_true_block_start(self, fastq_medium):
+        raw = zlib_raw(fastq_medium, 6)
+        full = inflate(raw)
+        b = full.blocks[1]
+        result = inflate(raw, start_bit=b.start_bit, strict=True, max_blocks=3)
+        assert len(result.blocks) >= 1
+
+    def test_ascii_check_rejects_binary(self):
+        import os
+
+        data = os.urandom(60_000)
+        raw = zlib_raw(data, 6)
+        result = inflate(raw)
+        if len(result.blocks) < 2:
+            pytest.skip("need multiple blocks")
+        b = result.blocks[1] if not result.blocks[1].bfinal else result.blocks[0]
+        with pytest.raises(DeflateError):
+            inflate(raw, start_bit=b.start_bit, strict=True, max_blocks=1)
+
+    def test_block_size_check(self):
+        # A valid non-final block smaller than 1 KiB must be rejected
+        # in strict mode.  Build: tiny dynamic block via zlib flush.
+        co = zlib.compressobj(6, zlib.DEFLATED, -15)
+        raw = co.compress(b"tiny ascii block") + co.flush(zlib.Z_FULL_FLUSH)
+        raw += co.compress(b"rest") + co.flush()
+        with pytest.raises((BlockSizeError, DeflateError)):
+            inflate(raw, strict=True, max_blocks=1)
+
+    def test_backref_into_assumed_context_allowed(self, fastq_medium):
+        """Strict mode assumes a 32 KiB context exists: block 1 decodes
+        even though its matches point before the start."""
+        raw = zlib_raw(fastq_medium, 6)
+        full = inflate(raw)
+        b = full.blocks[1]
+        result = inflate(raw, start_bit=b.start_bit, strict=True, max_blocks=1)
+        assert b"?" in result.data or len(result.data) > 0
+
+    def test_hit_final_probe_flag(self, fastq_medium):
+        raw = zlib_raw(fastq_medium, 6)
+        full = inflate(raw)
+        # Start probing at the penultimate block: the confirmation run
+        # decodes the genuine final block too and flags it.
+        b = full.blocks[-2]
+        result = inflate(raw, start_bit=b.start_bit, strict=True, max_blocks=10)
+        assert result.hit_final_probe
+        assert result.final_seen
+        assert len(result.blocks) == 2

@@ -1,0 +1,81 @@
+"""Property-based interoperability: ours <-> zlib on adversarial inputs.
+
+Hypothesis drives structured generators (repeats, runs, near-matches at
+boundary distances/lengths) through both codec directions.
+"""
+
+import zlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.deflate.deflate import deflate_compress
+from repro.deflate.inflate import inflate_bytes
+
+
+def zlib_raw(data: bytes, level: int) -> bytes:
+    co = zlib.compressobj(level, zlib.DEFLATED, -15)
+    return co.compress(data) + co.flush()
+
+
+# Structured inputs that stress LZ77 boundary conditions.
+_repeats = st.builds(
+    lambda unit, n: unit * n,
+    st.binary(min_size=1, max_size=32),
+    st.integers(min_value=1, max_value=300),
+)
+_runs = st.builds(
+    lambda b, n: bytes([b]) * n,
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=1, max_value=70000),
+)
+_dna_like = st.builds(
+    lambda seed, n: bytes(
+        b"ACGT"[(seed + i * 2654435761) % 4] for i in range(n)
+    ),
+    st.integers(min_value=0, max_value=2**30),
+    st.integers(min_value=0, max_value=2000),
+)
+_mixed = st.lists(
+    st.one_of(st.binary(max_size=200), _repeats, _dna_like),
+    max_size=6,
+).map(b"".join)
+
+
+class TestOursDecodesZlib:
+    @given(_mixed, st.sampled_from([1, 4, 6, 9]))
+    @settings(max_examples=120, deadline=None)
+    def test_inflate_zlib_output(self, data, level):
+        assert inflate_bytes(zlib_raw(data, level)) == data
+
+    @given(_runs)
+    @settings(max_examples=40, deadline=None)
+    def test_long_runs(self, data):
+        assert inflate_bytes(zlib_raw(data, 6)) == data
+
+
+class TestZlibDecodesOurs:
+    @given(_mixed, st.sampled_from([0, 1, 4, 6, 9]))
+    @settings(max_examples=120, deadline=None)
+    def test_zlib_inflates_our_output(self, data, level):
+        assert zlib.decompress(deflate_compress(data, level), wbits=-15) == data
+
+    @given(_runs)
+    @settings(max_examples=30, deadline=None)
+    def test_long_runs(self, data):
+        assert zlib.decompress(deflate_compress(data, 6), wbits=-15) == data
+
+
+class TestFullCircle:
+    @given(_mixed)
+    @settings(max_examples=80, deadline=None)
+    def test_ours_to_ours(self, data):
+        assert inflate_bytes(deflate_compress(data, 6)) == data
+
+    @given(_mixed, st.sampled_from([1, 6, 9]), st.sampled_from([1, 6, 9]))
+    @settings(max_examples=50, deadline=None)
+    def test_recompress_cycle(self, data, l1, l2):
+        """zlib(ours(zlib(data))) stays exact through level changes."""
+        step1 = inflate_bytes(zlib_raw(data, l1))
+        step2 = zlib.decompress(deflate_compress(step1, l2), wbits=-15)
+        assert step2 == data

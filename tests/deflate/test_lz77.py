@@ -1,0 +1,155 @@
+"""LZ77 parser: correctness of the parse and fidelity of the strategies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import random_dna
+from repro.deflate.lz77 import LEVEL_CONFIGS, MAX_DIST, TOO_FAR, Lz77Parser, parse_lz77
+from repro.deflate.tokens import TokenStream
+
+
+def expand(tokens: TokenStream) -> bytes:
+    """Re-expand a token stream to bytes (reference LZ77 semantics)."""
+    out = bytearray()
+    for t in tokens:
+        if t.is_literal:
+            out.append(t.value)
+        else:
+            start = len(out) - t.offset
+            assert start >= 0, "token references before stream start"
+            for k in range(t.value):
+                out.append(out[start + k])
+    return bytes(out)
+
+
+class TestParseCorrectness:
+    @pytest.mark.parametrize("level", sorted(LEVEL_CONFIGS))
+    def test_expand_reproduces_input_text(self, level, mixed_text):
+        data = mixed_text[:20000]
+        assert expand(parse_lz77(data, level)) == data
+
+    @pytest.mark.parametrize("level", [1, 6, 9])
+    def test_expand_reproduces_dna(self, level, dna_100k):
+        data = dna_100k[:30000]
+        assert expand(parse_lz77(data, level)) == data
+
+    def test_empty_input(self):
+        assert len(parse_lz77(b"", 6)) == 0
+
+    def test_short_inputs(self):
+        for n in range(1, 6):
+            data = b"ab"[:1] * n
+            tokens = parse_lz77(data, 6)
+            assert expand(tokens) == data
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            Lz77Parser(b"x", level=0)
+        with pytest.raises(ValueError):
+            Lz77Parser(b"x", level=10)
+
+    def test_invalid_min_match(self):
+        with pytest.raises(ValueError):
+            Lz77Parser(b"x", level=1, min_match=2)
+
+    @given(st.binary(min_size=0, max_size=3000), st.sampled_from([1, 3, 4, 6, 9]))
+    @settings(max_examples=60, deadline=None)
+    def test_property_expand_round_trip(self, data, level):
+        assert expand(parse_lz77(data, level)) == data
+
+
+class TestMatchConstraints:
+    @pytest.mark.parametrize("level", [1, 6, 9])
+    def test_offsets_within_max_dist(self, level):
+        data = (b"UNIQUEPREFIX" + random_dna(40000, seed=9) + b"UNIQUEPREFIX" + b"Z" * 10)
+        tokens = parse_lz77(data, level)
+        offsets = tokens.offsets()
+        assert offsets.max(initial=0) <= MAX_DIST
+
+    @pytest.mark.parametrize("level", [1, 6, 9])
+    def test_lengths_within_bounds(self, level):
+        data = b"A" * 5000
+        tokens = parse_lz77(data, level)
+        values = tokens.values()
+        offsets = tokens.offsets()
+        match_lengths = values[offsets > 0]
+        assert match_lengths.min(initial=3) >= 3
+        assert match_lengths.max(initial=3) <= 258
+        assert expand(tokens) == data
+
+    def test_run_length_encoded_as_overlapping_match(self):
+        tokens = parse_lz77(b"A" * 100, 6)
+        # One literal 'A' then an overlapping distance-1 match.
+        assert tokens[0].is_literal
+        assert any((not t.is_literal) and t.offset == 1 for t in tokens)
+
+    def test_too_far_rule_lazy(self):
+        # A 3-byte repeat placed > TOO_FAR back must not become a match
+        # at lazy levels (zlib drops min-length far matches).
+        filler = random_dna(TOO_FAR + 500, seed=5).replace(b"GCA", b"GCC")
+        data = b"XQZ" + filler + b"XQZ" + b"\x00" * 4
+        tokens = parse_lz77(data, 6)
+        for t in tokens:
+            if not t.is_literal:
+                assert not (t.value == 3 and t.offset > TOO_FAR)
+        assert expand(tokens) == data
+
+
+class TestStrategies:
+    def test_greedy_vs_lazy_config_split(self):
+        for level in (1, 2, 3):
+            assert not LEVEL_CONFIGS[level].lazy
+        for level in range(4, 10):
+            assert LEVEL_CONFIGS[level].lazy
+
+    def test_lazy_emits_more_literals_on_dna(self):
+        """The paper's core observation (Section V-B): non-greedy
+        parsing produces literals on random DNA; greedy mostly doesn't."""
+        data = random_dna(120_000, seed=17)
+        greedy = parse_lz77(data, 1).stats()
+        lazy = parse_lz77(data, 6).stats()
+        # Skip the first window (both emit literals while history fills).
+        assert lazy.num_literals > greedy.num_literals
+
+    def test_lazy_literal_rate_near_model(self):
+        """Steady-state literal rate on random DNA should be in the
+        ballpark of the Section V-C model (~4%)."""
+        from repro.models import literal_rate
+
+        data = random_dna(200_000, seed=23)
+        tokens = parse_lz77(data, 6)
+        # Steady state: ignore the first 64 KiB of output.
+        out_pos = 0
+        lits = 0
+        total = 0
+        for t in tokens:
+            size = t.length
+            if out_pos > 65536:
+                total += size
+                if t.is_literal:
+                    lits += 1
+            out_pos += size
+        measured = lits / total
+        model = literal_rate()
+        assert 0.3 * model < measured < 3.0 * model
+
+    def test_higher_level_compresses_harder(self):
+        data = random_dna(60_000, seed=31) * 2
+        s1 = parse_lz77(data, 1).stats()
+        s9 = parse_lz77(data, 9).stats()
+        assert s9.mean_length >= s1.mean_length
+
+    def test_weak_persona_min_match(self):
+        """min_match=8 (igzip-style) must emit no short matches and far
+        more literals on DNA — the 'lowest stratum' persona."""
+        data = random_dna(60_000, seed=41)
+        weak = parse_lz77(data, 1, min_match=8)
+        values = weak.values()
+        offsets = weak.offsets()
+        match_lengths = values[offsets > 0]
+        if len(match_lengths):
+            assert match_lengths.min() >= 8
+        strong = parse_lz77(data, 1)
+        assert weak.stats().num_literals > 5 * max(1, strong.stats().num_literals)
+        assert expand(weak) == data

@@ -1,0 +1,43 @@
+"""Exhaustive block-boundary resumption sweep.
+
+For each compression level, decoding from *every* block boundary with
+the correct window must equal the corresponding suffix of a full
+decode — the invariant both random access (with resolved context) and
+the checkpoint index rely on.
+"""
+
+import pytest
+
+from repro.deflate.inflate import inflate
+from tests.conftest import zlib_raw
+
+
+@pytest.mark.parametrize("level", [1, 6, 9])
+def test_resume_at_every_block_boundary(level, fastq_medium):
+    raw = zlib_raw(fastq_medium, level)
+    full = inflate(raw)
+    if len(full.blocks) < 3:
+        pytest.skip("too few blocks at this level")
+    for b in full.blocks[1:]:
+        window = full.data[: b.out_start][-32768:]
+        tail = inflate(raw, start_bit=b.start_bit, window=window)
+        assert tail.data == full.data[b.out_start :], (
+            f"level {level}, resume at block bit {b.start_bit}"
+        )
+        assert tail.end_bit == full.end_bit
+
+
+@pytest.mark.parametrize("level", [1, 6])
+def test_marker_resume_equals_byte_resume(level, fastq_medium):
+    """Marker decode with a fully known window must equal the byte
+    decoder at every boundary (same machinery, different domain)."""
+    from repro.core.marker import count_markers, to_bytes
+    from repro.core.marker_inflate import marker_inflate
+
+    raw = zlib_raw(fastq_medium, level)
+    full = inflate(raw)
+    for b in full.blocks[1::2]:  # every other boundary, for runtime
+        window = full.data[: b.out_start][-32768:]
+        res = marker_inflate(raw, start_bit=b.start_bit, window=window)
+        assert count_markers(res.symbols) == 0
+        assert to_bytes(res.symbols) == full.data[b.out_start :]

@@ -1,0 +1,71 @@
+"""Token stream container and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.deflate.tokens import Token, TokenStream
+
+
+class TestToken:
+    def test_literal_classification(self):
+        t = Token.literal(65)
+        assert t.is_literal
+        assert t.length == 1
+        assert t.value == 65
+
+    def test_match_classification(self):
+        t = Token.match(100, 42)
+        assert not t.is_literal
+        assert t.length == 42
+        assert t.offset == 100
+
+
+class TestTokenStream:
+    def test_append_and_iterate(self):
+        ts = TokenStream()
+        ts.add_literal(ord("A"))
+        ts.add_match(500, 10)
+        ts.add_literal(ord("C"))
+        tokens = list(ts)
+        assert len(ts) == 3
+        assert tokens[0] == Token(0, ord("A"))
+        assert tokens[1] == Token(500, 10)
+        assert ts[2].is_literal
+
+    def test_columnar_views(self):
+        ts = TokenStream()
+        ts.add_match(7, 3)
+        ts.add_literal(1)
+        assert ts.offsets().tolist() == [7, 0]
+        assert ts.values().tolist() == [3, 1]
+        assert ts.offsets().dtype == np.int32
+
+    def test_empty_stats(self):
+        stats = TokenStream().stats()
+        assert stats.num_literals == 0
+        assert stats.num_matches == 0
+        assert stats.mean_offset == 0.0
+        assert stats.mean_length == 0.0
+        assert stats.literal_fraction == 0.0
+
+    def test_stats_mixed(self):
+        ts = TokenStream()
+        for _ in range(4):
+            ts.add_literal(65)
+        ts.add_match(1000, 10)
+        ts.add_match(3000, 30)
+        stats = ts.stats()
+        assert stats.num_literals == 4
+        assert stats.num_matches == 2
+        assert stats.mean_offset == 2000.0
+        assert stats.mean_length == 20.0
+        assert stats.output_length == 44
+        assert stats.literal_fraction == pytest.approx(4 / 44)
+
+    def test_stats_all_literals(self):
+        ts = TokenStream()
+        for b in b"hello":
+            ts.add_literal(b)
+        stats = ts.stats()
+        assert stats.literal_fraction == 1.0
+        assert stats.output_length == 5

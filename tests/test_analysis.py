@@ -1,0 +1,179 @@
+"""Analysis layers: window counting, origin tracking, token stats."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    UndeterminedWindowCounter,
+    context_types_for_offset,
+    literal_positions,
+    literal_rate_by_window,
+    offset_histogram,
+    origin_counts_by_type,
+    payload_token_stats,
+    tokens_of_zlib,
+    undetermined_window_series,
+)
+from repro.analysis.origins import TYPE_ORDER
+from repro.core.marker import MARKER_BASE
+from repro.data import CHAR_TYPES, classify_fastq_bytes, random_dna
+from repro.deflate.inflate import inflate
+from tests.conftest import zlib_raw
+
+
+class TestTokenStats:
+    def test_tokens_of_zlib_expand_length(self, dna_100k):
+        tokens = tokens_of_zlib(dna_100k, 6)
+        assert tokens.stats().output_length == len(dna_100k)
+
+    def test_paper_oa_magnitude_on_dna(self):
+        """Section IV-C: o_a ~ 3602 on random DNA at default level.
+
+        We assert the order of magnitude (the exact value depends on
+        the zlib build's tie-breaking)."""
+        dna = random_dna(1_000_000, seed=42)
+        stats = payload_token_stats(zlib_raw(dna, 6), skip_blocks=1).stats
+        assert 1000 < stats.mean_offset < 9000
+
+    def test_level9_offsets_larger_than_level6(self):
+        """Section V-D: gzip -9 produces higher average offsets."""
+        dna = random_dna(600_000, seed=43)
+        s6 = payload_token_stats(zlib_raw(dna, 6), skip_blocks=1).stats
+        s9 = payload_token_stats(zlib_raw(dna, 9), skip_blocks=1).stats
+        assert s9.mean_offset > s6.mean_offset
+
+    def test_mean_length_near_paper_la(self):
+        """Paper: l_a = 7.6 on random DNA at default level."""
+        dna = random_dna(600_000, seed=44)
+        stats = payload_token_stats(zlib_raw(dna, 6), skip_blocks=1).stats
+        assert 5.0 < stats.mean_length < 11.0
+
+    def test_skip_blocks_changes_window(self, fastq_medium):
+        raw = zlib_raw(fastq_medium, 6)
+        full = payload_token_stats(raw)
+        tail = payload_token_stats(raw, skip_blocks=2)
+        assert tail.stats.output_length < full.stats.output_length
+
+    def test_offset_histogram(self, dna_100k):
+        tokens = tokens_of_zlib(dna_100k, 6)
+        counts, edges = offset_histogram(tokens, bins=16)
+        assert counts.sum() == tokens.stats().num_matches
+        assert len(edges) == 17
+
+    def test_literal_positions_sorted_and_bounded(self, dna_100k):
+        tokens = tokens_of_zlib(dna_100k, 6)
+        pos = literal_positions(tokens)
+        assert (np.diff(pos) > 0).all()
+        assert pos[-1] < len(dna_100k)
+
+    def test_literal_rate_by_window_first_window_highest(self, dna_100k):
+        """History is empty at the start: window 0 has the most literals."""
+        tokens = tokens_of_zlib(dna_100k, 6)
+        rates = literal_rate_by_window(tokens, window=16384)
+        assert rates[0] == rates.max()
+        assert rates.min() >= 0.0
+
+
+class TestWindowCounter:
+    def test_counts_match_direct_computation(self):
+        counter = UndeterminedWindowCounter(window_size=10)
+        syms = [65] * 25
+        syms[3] = MARKER_BASE + 1
+        syms[12] = MARKER_BASE + 2
+        syms[13] = MARKER_BASE + 3
+        counter(syms[:15], 0)
+        counter(syms[15:], 15)
+        fr = counter.fractions()
+        assert fr.tolist() == [0.1, 0.2, 0.0]
+        assert counter.total_symbols == 25
+
+    def test_partial_last_window_normalised(self):
+        counter = UndeterminedWindowCounter(window_size=10)
+        counter([MARKER_BASE] * 5, 0)
+        assert counter.fractions().tolist() == [1.0]
+
+    def test_invalid_window_size(self):
+        with pytest.raises(ValueError):
+            UndeterminedWindowCounter(0)
+
+    def test_series_from_stream_matches_full_decode(self, fastq_medium):
+        """Streaming window series == series computed from a full
+        marker decode."""
+        from repro.core.marker_inflate import marker_inflate
+
+        raw = zlib_raw(fastq_medium, 6)
+        full = inflate(raw)
+        b = full.blocks[1]
+        series = undetermined_window_series(raw, b.start_bit, window_size=5000)
+
+        res = marker_inflate(raw, start_bit=b.start_bit)
+        syms = res.symbols
+        expected = []
+        for i in range(0, len(syms), 5000):
+            win = syms[i : i + 5000]
+            expected.append(float((win >= MARKER_BASE).mean()))
+        assert np.allclose(series.fractions, expected)
+        assert series.total == len(syms)
+
+    def test_vanish_index(self):
+        counter = UndeterminedWindowCounter(window_size=4)
+        counter([MARKER_BASE, 0, 0, 0] + [0] * 8, 0)
+        fr = counter.fractions()
+        nz = np.flatnonzero(fr > 0)
+        assert nz.tolist() == [0]
+
+
+class TestOrigins:
+    def test_counts_localise_markers(self):
+        context_types = np.zeros(32768, dtype=np.uint8)
+        context_types[100] = CHAR_TYPES["dna"]
+        context_types[200] = CHAR_TYPES["quality"]
+        syms = np.full(70000, 65, dtype=np.int32)
+        syms[5] = MARKER_BASE + 100      # dna marker, window 0
+        syms[40000] = MARKER_BASE + 200  # quality marker, window 1
+        series = origin_counts_by_type(syms, context_types)
+        assert series.counts[0, TYPE_ORDER.index("dna")] == 1
+        assert series.counts[1, TYPE_ORDER.index("quality")] == 1
+        assert series.counts.sum() == 2
+
+    def test_totals_by_type(self):
+        context_types = np.full(32768, CHAR_TYPES["header"], dtype=np.uint8)
+        syms = np.array([MARKER_BASE + i for i in range(10)], dtype=np.int32)
+        series = origin_counts_by_type(syms, context_types)
+        assert series.totals_by_type()["header"] == 10
+
+    def test_last_window_with_type(self):
+        context_types = np.full(32768, CHAR_TYPES["dna"], dtype=np.uint8)
+        syms = np.zeros(100_000, dtype=np.int32)
+        syms[80_000] = MARKER_BASE + 5
+        series = origin_counts_by_type(syms, context_types)
+        assert series.last_window_with_type("dna") == 80_000 // 32768
+        assert series.last_window_with_type("quality") is None
+
+    def test_wrong_context_size(self):
+        with pytest.raises(ValueError):
+            origin_counts_by_type(np.zeros(1, dtype=np.int32), np.zeros(5))
+
+    def test_context_types_for_offset(self, fastq_medium):
+        types = context_types_for_offset(fastq_medium, 100_000)
+        expected = classify_fastq_bytes(fastq_medium[:100_000])[-32768:]
+        assert (types == expected).all()
+
+    def test_context_types_needs_32k(self):
+        with pytest.raises(ValueError):
+            context_types_for_offset(b"short", 4)
+
+    def test_end_to_end_origin_tracking(self, fastq_medium):
+        """Markers' origin types computed via the marker decode agree
+        with ground truth: each marker's origin byte type equals the
+        classified type of the true context position."""
+        from repro.core.marker_inflate import marker_inflate
+
+        raw = zlib_raw(fastq_medium, 6)
+        full = inflate(raw)
+        b = full.blocks[1]
+        res = marker_inflate(raw, start_bit=b.start_bit)
+        ctx_types = context_types_for_offset(fastq_medium, b.out_start)
+        series = origin_counts_by_type(res.symbols, ctx_types)
+        # Totals must equal the marker count.
+        assert series.counts.sum() == int((res.symbols >= MARKER_BASE).sum())

@@ -1,0 +1,75 @@
+"""The public API surface: every ``__all__`` name exists and imports.
+
+Guards against export drift as modules evolve — a release-quality
+package must not advertise names it cannot deliver.
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.deflate",
+    "repro.core",
+    "repro.models",
+    "repro.data",
+    "repro.analysis",
+    "repro.perf",
+    "repro.parallel",
+    "repro.bgzf",
+    "repro.index",
+    "repro.io",
+    "repro.pipeline",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_all_resolves(name):
+    mod = importlib.import_module(name)
+    assert hasattr(mod, "__all__"), f"{name} lacks __all__"
+    for sym in mod.__all__:
+        assert hasattr(mod, sym), f"{name}.{sym} in __all__ but missing"
+
+
+def test_every_submodule_imports():
+    """Import every module in the tree (catches syntax/import rot in
+    modules the test suite happens not to touch)."""
+    failures = []
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        if not hasattr(pkg, "__path__"):
+            continue
+        for info in pkgutil.iter_modules(pkg.__path__):
+            full = f"{pkg_name}.{info.name}"
+            try:
+                importlib.import_module(full)
+            except Exception as exc:  # pragma: no cover
+                failures.append((full, repr(exc)))
+    assert not failures
+
+
+def test_version_exposed():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2
+
+
+def test_error_hierarchy():
+    from repro import errors
+
+    assert issubclass(errors.DeflateError, errors.ReproError)
+    for name in (
+        "BitstreamError",
+        "HuffmanError",
+        "BlockHeaderError",
+        "BackrefError",
+        "AsciiCheckError",
+        "BlockSizeError",
+    ):
+        assert issubclass(getattr(errors, name), errors.DeflateError)
+    for name in ("GzipFormatError", "SyncError", "RandomAccessError"):
+        assert issubclass(getattr(errors, name), errors.ReproError)
+        assert not issubclass(getattr(errors, name), errors.DeflateError)

@@ -1,0 +1,64 @@
+"""Property tests for the random-access substrates (BGZF, index)."""
+
+import gzip as stdlib_gzip
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgzf import BgzfReader, bgzf_compress, bgzf_decompress
+from repro.data import gzip_zlib
+from repro.index import GzipIndex, build_index
+
+_text = st.builds(
+    lambda lines, reps: ("\n".join(lines) + "\n").encode() * reps,
+    st.lists(
+        st.text(alphabet="ACGT@:+!#$%&0123456789 ", min_size=5, max_size=80),
+        min_size=10,
+        max_size=60,
+    ),
+    st.integers(min_value=1, max_value=40),
+)
+
+
+class TestBgzfProperty:
+    @given(data=_text, block=st.integers(min_value=1024, max_value=65280))
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_any_block_size(self, data, block):
+        bg = bgzf_compress(data, 6, block_input=block)
+        assert bgzf_decompress(bg) == data
+        assert stdlib_gzip.decompress(bg) == data
+
+    @given(
+        data=_text,
+        offset_frac=st.floats(min_value=0.0, max_value=0.999),
+        size=st.integers(min_value=0, max_value=5000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_read_at_arbitrary_positions(self, data, offset_frac, size):
+        bg = bgzf_compress(data, 6, block_input=4096)
+        reader = BgzfReader(bg)
+        off = int(len(data) * offset_frac)
+        assert reader.read_at(off, size) == data[off : off + size]
+
+
+class TestIndexProperty:
+    @given(
+        data=_text,
+        span=st.integers(min_value=10_000, max_value=400_000),
+        offset_frac=st.floats(min_value=0.0, max_value=0.999),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_indexed_extraction_exact(self, data, span, offset_frac):
+        gz = gzip_zlib(data, 6)
+        idx = build_index(gz, span=span)
+        off = int(len(data) * offset_frac)
+        assert idx.read_at(gz, off, 777) == data[off : off + 777]
+
+    @given(data=_text)
+    @settings(max_examples=15, deadline=None)
+    def test_serialisation_preserves_behaviour(self, data):
+        gz = gzip_zlib(data, 6)
+        idx = build_index(gz, span=50_000)
+        idx2 = GzipIndex.from_bytes(idx.to_bytes())
+        mid = len(data) // 2
+        assert idx.read_at(gz, mid, 100) == idx2.read_at(gz, mid, 100)

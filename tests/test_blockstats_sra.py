@@ -1,0 +1,104 @@
+"""Block statistics and the SRA-confounder workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import stream_block_stats
+from repro.data import (
+    ILLUMINA_ADAPTER,
+    adapter_contaminated_reads,
+    duplicated_reads,
+    entropy_bits_per_char,
+    gzip_zlib,
+    low_gc_fastq,
+    paired_end_fastq,
+    parse_fastq,
+    synthetic_fastq,
+)
+
+
+class TestBlockStats:
+    def test_counts_and_sizes(self, fastq_medium):
+        gz = gzip_zlib(fastq_medium, 6)
+        stats = stream_block_stats(gz, start_bit=80)
+        assert stats.count >= 3
+        assert stats.out_sizes.sum() == len(fastq_medium)
+        assert (stats.bit_sizes > 0).all()
+
+    def test_probe_bounds_hold_on_real_streams(self, fastq_medium, dna_100k):
+        """The Appendix X-A size bounds [1 KiB, 4 MiB] must cover the
+        blocks gzip actually produces — this is what makes the check
+        safe to use for rejection."""
+        for data, level in ((fastq_medium, 1), (fastq_medium, 6), (dna_100k * 5, 9)):
+            gz = gzip_zlib(data, level)
+            stats = stream_block_stats(gz, start_bit=80)
+            assert stats.within_probe_bounds() == 1.0
+
+    def test_ratios_sane(self, fastq_medium):
+        gz = gzip_zlib(fastq_medium, 6)
+        stats = stream_block_stats(gz, start_bit=80)
+        assert (stats.ratios < 1.1).all()
+        assert (stats.ratios > 0.05).all()
+
+    def test_block_types(self, fastq_medium):
+        gz = gzip_zlib(fastq_medium, 6)
+        stats = stream_block_stats(gz, start_bit=80)
+        assert set(stats.btypes.tolist()) <= {0, 1, 2}
+
+
+class TestSraWorkloads:
+    def test_adapter_contamination_structure(self):
+        data = adapter_contaminated_reads(300, read_length=100,
+                                          adapter_fraction=0.5, seed=1)
+        records = parse_fastq(data)
+        assert len(records) == 300
+        with_adapter = sum(
+            1 for r in records if ILLUMINA_ADAPTER[:20] in r.sequence
+        )
+        assert 100 < with_adapter < 200
+
+    def test_adapter_reads_more_compressible(self):
+        """The footnote's observation: adapters drop bits/char."""
+        clean = synthetic_fastq(300, read_length=100, seed=2)
+        dirty = adapter_contaminated_reads(300, read_length=100,
+                                           adapter_fraction=0.8, seed=2)
+        gz_clean = gzip_zlib(clean, 6)
+        gz_dirty = gzip_zlib(dirty, 6)
+        assert len(gz_dirty) / len(dirty) < len(gz_clean) / len(clean)
+
+    def test_duplicates_inserted(self):
+        data = duplicated_reads(200, duplication_rate=0.5, seed=3)
+        records = parse_fastq(data)
+        seqs = [r.sequence for r in records]
+        assert len(seqs) > 200
+        assert len(set(seqs)) == 200
+
+    def test_duplicate_rate_validation(self):
+        with pytest.raises(ValueError):
+            duplicated_reads(10, duplication_rate=1.0)
+
+    def test_low_gc_composition(self):
+        data = low_gc_fastq(300, read_length=100, gc_content=0.2, seed=4)
+        records = parse_fastq(data)
+        dna = b"".join(r.sequence for r in records)
+        gc = sum(1 for b in dna if b in b"GC") / len(dna)
+        assert 0.17 < gc < 0.23
+
+    def test_low_gc_entropy_below_2bits(self):
+        """The footnote's low-GC dataset compressed to 1.7 bits/char."""
+        data = low_gc_fastq(400, read_length=100, gc_content=0.15, seed=5)
+        records = parse_fastq(data)
+        dna = b"".join(r.sequence for r in records)[:32768]
+        assert entropy_bits_per_char(dna) < 1.9
+
+    def test_paired_end_mates(self):
+        r1, r2 = paired_end_fastq(100, read_length=80, seed=6)
+        rec1, rec2 = parse_fastq(r1), parse_fastq(r2)
+        assert len(rec1) == len(rec2) == 100
+        comp = bytes.maketrans(b"ACGT", b"TGCA")
+        # R2 is the reverse complement of the insert's tail; with
+        # read_length*2 inserts, mates don't overlap, but both derive
+        # from the same RNG stream: check alphabet and lengths.
+        for a, b in zip(rec1, rec2):
+            assert len(a.sequence) == len(b.sequence) == 80
+            assert set(b.sequence) <= set(b"ACGT")

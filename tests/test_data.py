@@ -1,0 +1,244 @@
+"""Workload generators: DNA, FASTQ, FASTQ-like, corpus, randomness test."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    CHAR_TYPES,
+    CorpusSpec,
+    build_corpus,
+    classify_fastq_bytes,
+    entropy_bits_per_char,
+    fastq_like,
+    gzip_zlib,
+    is_random_like,
+    level_stratum,
+    mutate_dna,
+    parse_fastq,
+    random_dna,
+    synthetic_fastq,
+    window_entropies,
+)
+from repro.errors import ReproError
+
+
+class TestRandomDna:
+    def test_length_and_alphabet(self):
+        dna = random_dna(5000, seed=1)
+        assert len(dna) == 5000
+        assert set(dna) <= set(b"ACGT")
+
+    def test_deterministic_by_seed(self):
+        assert random_dna(100, seed=7) == random_dna(100, seed=7)
+        assert random_dna(100, seed=7) != random_dna(100, seed=8)
+
+    def test_gc_content_bias(self):
+        dna = random_dna(100_000, seed=2, gc_content=0.8)
+        gc = sum(1 for b in dna if b in b"GC") / len(dna)
+        assert 0.78 < gc < 0.82
+
+    def test_uniform_composition(self):
+        dna = random_dna(100_000, seed=3)
+        counts = {b: dna.count(b) for b in b"ACGT"}
+        for c in counts.values():
+            assert abs(c - 25_000) < 1500
+
+    def test_zero_length(self):
+        assert random_dna(0) == b""
+
+    def test_negative_length_raises(self):
+        with pytest.raises(ValueError):
+            random_dna(-1)
+
+    def test_invalid_gc(self):
+        with pytest.raises(ValueError):
+            random_dna(10, gc_content=1.5)
+
+
+class TestMutateDna:
+    def test_rate_zero_identity(self):
+        dna = random_dna(1000, seed=4)
+        assert mutate_dna(dna, 0.0, seed=1) == dna
+
+    def test_rate_controls_divergence(self):
+        dna = random_dna(50_000, seed=5)
+        mutated = mutate_dna(dna, 0.1, seed=6)
+        diff = sum(a != b for a, b in zip(dna, mutated))
+        # Substitutions hit ~3/4 of sites with a different base.
+        assert 0.05 * len(dna) < diff < 0.10 * len(dna)
+
+    def test_alphabet_preserved(self):
+        mutated = mutate_dna(random_dna(1000, seed=7), 0.5, seed=8)
+        assert set(mutated) <= set(b"ACGT")
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            mutate_dna(b"ACGT", 1.1)
+
+
+class TestFastqLike:
+    def test_paper_structure(self):
+        """150 random DNA then 300 'x', repeated (Section IV-D)."""
+        s = fastq_like(2000, seed=9)
+        assert len(s) == 2000
+        assert set(s[:150]) <= set(b"ACGT")
+        assert s[150:450] == b"x" * 300
+        assert set(s[450:600]) <= set(b"ACGT")
+
+    def test_fresh_dna_each_unit(self):
+        s = fastq_like(900, seed=10)
+        assert s[:150] != s[450:600]
+
+    def test_truncation(self):
+        assert len(fastq_like(100, seed=11)) == 100
+
+    def test_custom_geometry(self):
+        s = fastq_like(50, dna_length=5, spacer_length=3, spacer=b"y", seed=12)
+        assert s[5:8] == b"yyy"
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            fastq_like(-1)
+        with pytest.raises(ValueError):
+            fastq_like(10, dna_length=0)
+
+
+class TestSyntheticFastq:
+    def test_structure_parses(self):
+        data = synthetic_fastq(50, read_length=75, seed=13)
+        records = parse_fastq(data)
+        assert len(records) == 50
+        for r in records:
+            assert len(r.sequence) == 75
+            assert len(r.quality) == 75
+            assert r.header.startswith(b"@SIM001:")
+            assert set(r.sequence) <= set(b"ACGT")
+
+    def test_quality_profiles(self):
+        for profile, alphabet_check in [
+            ("safe", lambda q: max(q) <= 64),
+            ("uniform", lambda q: max(q) <= 73),
+            ("illumina", lambda q: 33 <= min(q) and max(q) <= 73),
+        ]:
+            data = synthetic_fastq(20, read_length=50, seed=14, quality_profile=profile)
+            for r in parse_fastq(data):
+                assert alphabet_check(r.quality), profile
+
+    def test_barcode_in_header(self):
+        data = synthetic_fastq(3, read_length=10, seed=15, barcode="ATCACG")
+        for r in parse_fastq(data):
+            assert r.header.endswith(b":ATCACG")
+
+    def test_headers_unique(self):
+        data = synthetic_fastq(200, read_length=10, seed=16)
+        headers = [r.header for r in parse_fastq(data)]
+        assert len(set(headers)) == len(headers)
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError):
+            synthetic_fastq(1, quality_profile="martian")
+
+    def test_zero_reads(self):
+        assert synthetic_fastq(0) == b""
+
+
+class TestParseFastq:
+    def test_rejects_bad_line_count(self):
+        with pytest.raises(ReproError):
+            parse_fastq(b"@h\nACGT\n+\n")
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(ReproError):
+            parse_fastq(b"h\nACGT\n+\nIIII\n")
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ReproError):
+            parse_fastq(b"@h\nACGT\n+\nIII\n")
+
+    def test_round_trip_encode(self):
+        data = synthetic_fastq(5, read_length=20, seed=17)
+        assert b"".join(r.encode() for r in parse_fastq(data)) == data
+
+
+class TestClassifyFastqBytes:
+    def test_types_assigned_per_line(self):
+        data = b"@hd\nACGT\n+\nIIII\n"
+        types = classify_fastq_bytes(data)
+        assert types[0] == CHAR_TYPES["header"]
+        assert types[3] == CHAR_TYPES["newline"]
+        assert types[4] == CHAR_TYPES["dna"]
+        assert types[9] == CHAR_TYPES["plus"]
+        assert types[11] == CHAR_TYPES["quality"]
+        assert len(types) == len(data)
+
+    def test_full_file_coverage(self, fastq_small):
+        types = classify_fastq_bytes(fastq_small)
+        assert len(types) == len(fastq_small)
+        counts = np.bincount(types, minlength=5)
+        assert counts[CHAR_TYPES["dna"]] == counts[CHAR_TYPES["quality"]]
+
+
+class TestCorpus:
+    def test_default_strata(self):
+        spec = CorpusSpec(n_lowest=1, n_normal=2, n_highest=1,
+                          reads_per_file=300, read_length=80)
+        corpus = build_corpus(spec)
+        assert [f.stratum for f in corpus] == ["lowest", "normal", "normal", "highest"]
+        assert all(f.compressed_size < f.uncompressed_size for f in corpus)
+
+    def test_files_distinct(self):
+        spec = CorpusSpec(n_lowest=0, n_normal=2, n_highest=0,
+                          reads_per_file=200, read_length=60)
+        a, b = build_corpus(spec)
+        assert a.gz != b.gz
+
+    def test_decompressible_by_stdlib(self):
+        import gzip as stdlib_gzip
+
+        spec = CorpusSpec(n_lowest=1, n_normal=1, n_highest=1,
+                          reads_per_file=200, read_length=60)
+        for f in build_corpus(spec):
+            out = stdlib_gzip.decompress(f.gz)
+            assert len(out) == f.uncompressed_size
+
+    def test_level_stratum_mapping(self):
+        assert level_stratum(1) == "lowest"
+        assert level_stratum(6) == "normal"
+        assert level_stratum(9) == "highest"
+        assert level_stratum(4) == "normal"
+
+
+class TestRandomnessEstimator:
+    def test_random_dna_measures_near_2bits(self):
+        dna = random_dna(32768, seed=18)
+        bits = entropy_bits_per_char(dna)
+        assert 1.95 < bits < 2.2
+
+    def test_repetitive_dna_measures_low(self):
+        repeat = (b"ACGTACGTAC" * 4000)[:32768]
+        assert entropy_bits_per_char(repeat) < 1.0
+
+    def test_paper_verdicts(self):
+        """The footnote's test: random reads >= 2.1 b/c, repeats below."""
+        assert is_random_like(random_dna(32768, seed=19), threshold=1.95)
+        assert not is_random_like(b"AAAACCCCGGGGTTTT" * 2048, threshold=1.95)
+
+    def test_window_entropies_shape(self):
+        dna = random_dna(3 * 32768, seed=20)
+        ent = window_entropies(dna)
+        assert len(ent) == 3
+        assert (ent > 1.9).all()
+
+    def test_empty_input(self):
+        assert entropy_bits_per_char(b"") == 0.0
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            entropy_bits_per_char(b"abc", order=-1)
+
+    def test_mutation_raises_entropy(self):
+        base = (b"ACGTACGTACGTACG" * 3000)[:32768]
+        noisy = mutate_dna(base, 0.3, seed=21)
+        assert entropy_bits_per_char(noisy) > entropy_bits_per_char(base)

@@ -1,0 +1,97 @@
+"""Documentation consistency: the docs track the code, mechanically.
+
+Release hygiene as tests: every benchmark is indexed in DESIGN.md and
+README.md, every documented CLI subcommand exists, versions agree.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).parent.parent
+
+
+def read(name: str) -> str:
+    return (ROOT / name).read_text()
+
+
+class TestFilesExist:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "README.md",
+            "DESIGN.md",
+            "EXPERIMENTS.md",
+            "CHANGELOG.md",
+            "CONTRIBUTING.md",
+            "LICENSE",
+            "docs/ALGORITHMS.md",
+            "docs/FORMATS.md",
+            "docs/CLI.md",
+        ],
+    )
+    def test_doc_present_and_nonempty(self, name):
+        path = ROOT / name
+        assert path.exists(), name
+        assert len(path.read_text()) > 200
+
+
+class TestBenchmarkIndex:
+    def test_every_benchmark_indexed_in_design(self):
+        design = read("DESIGN.md")
+        benches = sorted(
+            p.name for p in (ROOT / "benchmarks").glob("test_*.py")
+        )
+        missing = [
+            b for b in benches
+            if b not in design and b != "test_deep_scale.py"  # opt-in extra
+        ]
+        assert not missing, f"benchmarks not indexed in DESIGN.md: {missing}"
+
+    def test_every_benchmark_indexed_in_readme(self):
+        readme = read("README.md")
+        core_benches = [
+            "test_fig1_illustration.py",
+            "test_fig2_random_dna.py",
+            "test_fig2_fastq_like.py",
+            "test_table1_random_access.py",
+            "test_table2_throughput.py",
+            "test_fig4_context_propagation.py",
+            "test_fig5_scaling.py",
+            "test_sync_detection.py",
+            "test_model_validation.py",
+        ]
+        for b in core_benches:
+            assert b in readme, f"{b} missing from README's experiment table"
+
+
+class TestCliDocs:
+    def test_documented_subcommands_exist(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if hasattr(a, "choices") and a.choices
+        )
+        implemented = set(sub.choices)
+        cli_md = read("docs/CLI.md")
+        documented = set(re.findall(r"python -m repro (\w[\w-]*)", cli_md))
+        assert documented <= implemented, documented - implemented
+        # And everything implemented is documented.
+        assert implemented <= documented, implemented - documented
+
+
+class TestVersionAgreement:
+    def test_pyproject_matches_package(self):
+        import repro
+
+        pyproject = read("pyproject.toml")
+        m = re.search(r'version = "([^"]+)"', pyproject)
+        assert m and m.group(1) == repro.__version__
+
+    def test_changelog_mentions_current_version(self):
+        import repro
+
+        assert repro.__version__ in read("CHANGELOG.md")

@@ -1,0 +1,35 @@
+"""Every example script runs to completion (subprocess smoke tests).
+
+The examples are deliverables; a refactor that breaks one must fail CI.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    path = pathlib.Path(__file__).parent.parent / "examples" / name
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        timeout=900,
+        text=True,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\nstdout:\n{result.stdout[-2000:]}\n"
+        f"stderr:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{name} printed nothing"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 7
+    assert "quickstart.py" in EXAMPLES

@@ -1,0 +1,97 @@
+"""Checkpoint index (zran-style) for gzip random access."""
+
+import pytest
+
+from repro.data import gzip_zlib
+from repro.errors import GzipFormatError, RandomAccessError
+from repro.index import Checkpoint, GzipIndex, build_index
+
+
+@pytest.fixture(scope="module")
+def indexed(fastq_medium):
+    gz = gzip_zlib(fastq_medium, 6)
+    idx = build_index(gz, span=150_000)
+    return fastq_medium, gz, idx
+
+
+class TestBuild:
+    def test_checkpoint_density(self, indexed):
+        text, gz, idx = indexed
+        assert idx.usize == len(text)
+        # One checkpoint per <= ~2 spans (block granularity).
+        assert len(idx.checkpoints) >= len(text) // (2 * idx.span)
+
+    def test_first_checkpoint_is_stream_start(self, indexed):
+        _, gz, idx = indexed
+        cp = idx.checkpoints[0]
+        assert cp.uoffset == 0
+        assert cp.window == b""
+
+    def test_checkpoints_sorted_with_windows(self, indexed):
+        text, _, idx = indexed
+        for prev, cur in zip(idx.checkpoints, idx.checkpoints[1:]):
+            assert cur.uoffset > prev.uoffset
+            assert cur.window == text[max(0, cur.uoffset - 32768) : cur.uoffset]
+
+    def test_invalid_span(self, indexed):
+        _, gz, _ = indexed
+        with pytest.raises(ValueError):
+            build_index(gz, span=0)
+
+
+class TestReadAt:
+    def test_exact_extraction_everywhere(self, indexed):
+        text, gz, idx = indexed
+        for off in (0, 1, 50_000, 333_333, len(text) - 200):
+            assert idx.read_at(gz, off, 150) == text[off : off + 150]
+
+    def test_extraction_spanning_checkpoints(self, indexed):
+        text, gz, idx = indexed
+        cp = idx.checkpoints[1]
+        off = cp.uoffset - 100
+        assert idx.read_at(gz, off, 300) == text[off : off + 300]
+
+    def test_nearest_selection(self, indexed):
+        _, _, idx = indexed
+        cp = idx.nearest(idx.checkpoints[2].uoffset + 1)
+        assert cp is idx.checkpoints[2]
+
+    def test_offset_out_of_range(self, indexed):
+        _, gz, idx = indexed
+        with pytest.raises(RandomAccessError):
+            idx.read_at(gz, idx.usize + 1, 10)
+
+    def test_negative_size(self, indexed):
+        _, gz, idx = indexed
+        with pytest.raises(ValueError):
+            idx.read_at(gz, 0, -1)
+
+
+class TestSerialisation:
+    def test_round_trip(self, indexed):
+        text, gz, idx = indexed
+        blob = idx.to_bytes()
+        idx2 = GzipIndex.from_bytes(blob)
+        assert idx2.usize == idx.usize
+        assert len(idx2.checkpoints) == len(idx.checkpoints)
+        assert idx2.read_at(gz, 200_000, 99) == text[200_000 : 200_099]
+
+    def test_windows_compressed_in_blob(self, indexed):
+        _, _, idx = indexed
+        raw_size = sum(len(cp.window) for cp in idx.checkpoints)
+        assert len(idx.to_bytes()) < raw_size  # compression pays
+
+    def test_bad_magic(self):
+        with pytest.raises(GzipFormatError):
+            GzipIndex.from_bytes(b"NOTANIDX" + b"\x00" * 40)
+
+
+class TestComparisonWithProbing:
+    def test_indexed_access_needs_no_probing(self, indexed):
+        """The related-work trade-off: with an index, access starts at
+        an exact block boundary with a known window — no search, no
+        undetermined characters, any compression level."""
+        text, gz, idx = indexed
+        out = idx.read_at(gz, 400_000, 1000)
+        assert out == text[400_000:401_000]
+        assert b"?" not in out or b"?" in text[400_000:401_000]

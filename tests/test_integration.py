@@ -1,0 +1,119 @@
+"""Cross-module integration scenarios: the paper's pipelines end to end."""
+
+import gzip as stdlib_gzip
+
+import numpy as np
+import pytest
+
+from repro.analysis import undetermined_window_series
+from repro.core import (
+    find_block_start,
+    marker_inflate,
+    pugz_decompress,
+    random_access_sequences,
+)
+from repro.core.marker import MARKER_BASE, resolve, to_bytes
+from repro.data import build_corpus, CorpusSpec, gzip_zlib, parse_fastq, synthetic_fastq
+from repro.deflate import gzip_compress, gzip_unwrap
+from repro.deflate.inflate import inflate
+from tests.conftest import zlib_raw
+
+
+class TestFullPipelineOwnCodec:
+    """Our compressor -> sync -> marker decode -> resolve == truth."""
+
+    def test_compress_probe_resolve(self, fastq_small):
+        text = fastq_small * 2
+        gz = gzip_compress(text, 6)
+        full = inflate(gz, start_bit=80)
+        if len(full.blocks) < 3:
+            pytest.skip("too few blocks")
+        mid = (full.blocks[1].start_bit + full.blocks[2].start_bit) // 2
+        sync = find_block_start(gz, start_bit=mid)
+        target = next(b for b in full.blocks if b.start_bit == sync.bit_offset)
+        res = marker_inflate(gz, start_bit=sync.bit_offset)
+        ctx = np.frombuffer(
+            text[: target.out_start][-32768:], dtype=np.uint8
+        ).astype(np.int32)
+        assert to_bytes(resolve(res.symbols, ctx)) == text[target.out_start :]
+
+
+class TestCorpusPipeline:
+    def test_pugz_on_whole_corpus(self):
+        corpus = build_corpus(
+            CorpusSpec(n_lowest=1, n_normal=1, n_highest=1,
+                       reads_per_file=800, read_length=80)
+        )
+        for f in corpus:
+            truth = stdlib_gzip.decompress(f.gz)
+            assert pugz_decompress(f.gz, n_chunks=2, verify=True) == truth
+
+    def test_random_access_recovers_parseable_reads(self):
+        """Sequences returned after a resolved block are real reads."""
+        text = synthetic_fastq(4000, read_length=150, seed=101, quality_profile="safe")
+        gz = gzip_zlib(text, 6)
+        report = random_access_sequences(gz, len(gz) // 4)
+        if report.first_resolved_block is None:
+            pytest.skip("no resolved block at this scale/seed")
+        reads = {r.sequence for r in parse_fastq(text)}
+        res = marker_inflate(gz, start_bit=report.sync_bit)
+        syms = res.symbols
+        hits = 0
+        for s in report.sequences[:200]:
+            if s.is_unambiguous:
+                seq = to_bytes(syms[s.start : s.end])
+                assert seq in reads
+                hits += 1
+        assert hits > 50
+
+
+class TestFigure2Pipeline:
+    def test_window_series_decays_on_dna(self):
+        """Fig 2 (top) mechanics: undetermined fraction decays along
+        the stream on lazy-parsed random DNA."""
+        from repro.data import random_dna
+
+        dna = random_dna(700_000, seed=202)
+        raw = zlib_raw(dna, 6)
+        full = inflate(raw)
+        series = undetermined_window_series(
+            raw, full.blocks[1].start_bit, window_size=3600
+        )
+        fr = series.fractions
+        assert fr[0] > 0.5
+        assert fr[-10:].mean() < fr[:10].mean() * 0.3
+
+    def test_model_tracks_measurement(self):
+        """V-D: the (1-L1)^i model matches the measured decay within a
+        factor-two band over the mid range."""
+        from repro.analysis import payload_token_stats
+        from repro.data import random_dna
+        from repro.models import literal_rate, undetermined_series
+
+        dna = random_dna(900_000, seed=203)
+        raw = zlib_raw(dna, 6)
+        full = inflate(raw)
+        stats = payload_token_stats(raw, skip_blocks=1).stats
+        oa = int(stats.mean_offset)
+        series = undetermined_window_series(raw, full.blocks[1].start_bit, oa)
+        measured = series.fractions
+        model = undetermined_series(
+            len(measured), literal_rate(mean_match_length=stats.mean_length)
+        )
+        # Compare where the model is in (0.05, 0.9).
+        mask = (model > 0.05) & (model < 0.9)
+        ratio = measured[mask] / model[mask]
+        assert 0.3 < np.median(ratio) < 3.0
+
+
+class TestGzipCompatibilityMatrix:
+    """Every decompressor agrees with every compressor."""
+
+    @pytest.mark.parametrize("level", [1, 6])
+    def test_three_way_agreement(self, level, fastq_small):
+        ours = gzip_compress(fastq_small, level)
+        theirs = stdlib_gzip.compress(fastq_small, level, mtime=0)
+        for gz in (ours, theirs):
+            assert stdlib_gzip.decompress(gz) == fastq_small
+            assert gzip_unwrap(gz) == fastq_small
+            assert pugz_decompress(gz, n_chunks=2) == fastq_small

@@ -1,0 +1,73 @@
+"""Streaming file-like interface over the parallel decompressor."""
+
+import pytest
+
+from repro.data import parse_fastq
+from repro.errors import ReproError
+from repro.io import PugzStream, iter_fastq_records, open_pugz
+
+
+class TestRead:
+    def test_read_all(self, fastq_medium, fastq_medium_gz6):
+        s = PugzStream(fastq_medium_gz6, n_chunks=4, stripe_chunks=2)
+        assert s.read() == fastq_medium
+
+    def test_read_in_pieces(self, fastq_medium, fastq_medium_gz6):
+        s = PugzStream(fastq_medium_gz6, n_chunks=4, stripe_chunks=2)
+        out = bytearray()
+        while True:
+            piece = s.read(70_001)
+            if not piece:
+                break
+            out += piece
+        assert bytes(out) == fastq_medium
+
+    def test_tell_tracks_position(self, fastq_medium_gz6):
+        s = PugzStream(fastq_medium_gz6)
+        s.read(100)
+        s.read(50)
+        assert s.tell() == 150
+
+    def test_readinto(self, fastq_medium, fastq_medium_gz6):
+        s = PugzStream(fastq_medium_gz6)
+        buf = bytearray(64)
+        n = s.readinto(buf)
+        assert n == 64
+        assert bytes(buf) == fastq_medium[:64]
+
+    def test_readable(self, fastq_medium_gz6):
+        assert PugzStream(fastq_medium_gz6).readable()
+
+    def test_open_pugz_from_disk(self, fastq_medium, fastq_medium_gz6, tmp_path):
+        p = tmp_path / "reads.fastq.gz"
+        p.write_bytes(fastq_medium_gz6)
+        s = open_pugz(p, n_chunks=3)
+        assert s.read() == fastq_medium
+
+
+class TestLines:
+    def test_line_iteration_matches_split(self, fastq_medium, fastq_medium_gz6):
+        s = PugzStream(fastq_medium_gz6, n_chunks=4, stripe_chunks=1)
+        lines = list(s)
+        assert b"".join(lines) == fastq_medium
+        assert all(l.endswith(b"\n") for l in lines[:-1])
+
+    def test_readline_at_eof(self, fastq_medium_gz6):
+        s = PugzStream(fastq_medium_gz6)
+        s.read()
+        assert s.readline() == b""
+
+
+class TestFastqRecords:
+    def test_record_iteration(self, fastq_medium, fastq_medium_gz6):
+        s = PugzStream(fastq_medium_gz6, n_chunks=4, stripe_chunks=2)
+        records = list(iter_fastq_records(s))
+        assert records == parse_fastq(fastq_medium)
+
+    def test_truncated_record_detected(self, fastq_medium):
+        import gzip as stdlib_gzip
+
+        broken = stdlib_gzip.compress(fastq_medium[: len(fastq_medium) // 2 + 7], 6)
+        s = PugzStream(broken)
+        with pytest.raises(ReproError):
+            list(iter_fastq_records(s))

@@ -1,0 +1,159 @@
+"""Section V analytic models: the paper's quoted quantities and shapes."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import (
+    PAPER_MEAN_MATCH_LENGTH,
+    all_positions_match_probability,
+    determined_fraction,
+    expected_literals,
+    literal_probability,
+    literal_rate,
+    log10_miss_probability,
+    match_probability,
+    match_probability_poisson,
+    undetermined_fraction,
+    undetermined_series,
+    windows_until_determined,
+)
+
+
+class TestMatchProbability:
+    def test_paper_p3_bound(self):
+        """Paper: for k=3, W=2^15, p_k >= 1 - 10^-225."""
+        assert log10_miss_probability(3) <= -220
+
+    def test_paper_all_positions_bound(self):
+        """Paper: p_k^(W-k+1) >= 1 - 10^-220."""
+        assert all_positions_match_probability(3) >= 1 - 1e-200
+
+    def test_poisson_approximation_close(self):
+        for k in range(3, 20):
+            exact = match_probability(k)
+            approx = match_probability_poisson(k)
+            assert exact == pytest.approx(approx, abs=5e-5)
+
+    def test_decreasing_in_k(self):
+        probs = [match_probability(k) for k in range(3, 30)]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_transition_near_log4_W(self):
+        """p_k collapses around k = log_4(W) ~ 7.5."""
+        assert match_probability(5) > 0.99
+        assert match_probability(12) < 0.01
+
+    def test_oversized_k(self):
+        assert match_probability(40000, W=32768) == 0.0
+
+    def test_negative_k_raises(self):
+        with pytest.raises(ValueError):
+            match_probability(-1)
+
+    def test_alphabet_generalisation(self):
+        # Larger alphabets make matches rarer.
+        assert match_probability(6, alphabet=4) > match_probability(6, alphabet=20)
+
+
+class TestNonGreedyModel:
+    def test_paper_expected_literals(self):
+        """Paper: E_l ~= 1283 for W=2^15, l_a=7.6 (we allow ±5 %:
+        the paper's arithmetic rounds the p_k series)."""
+        e = expected_literals()
+        assert 1283 * 0.95 < e < 1283 * 1.05
+
+    def test_paper_literal_rate_4pct(self):
+        """Paper: L_1 ~= 4 %."""
+        assert 0.034 < literal_rate() < 0.046
+
+    def test_series_converges(self):
+        assert literal_probability(max_k=30) == pytest.approx(
+            literal_probability(max_k=200), abs=1e-12
+        )
+
+    def test_longer_matches_mean_fewer_literals(self):
+        assert expected_literals(mean_match_length=20) < expected_literals(
+            mean_match_length=5
+        )
+
+    def test_default_uses_paper_match_length(self):
+        assert expected_literals() == expected_literals(
+            mean_match_length=PAPER_MEAN_MATCH_LENGTH
+        )
+
+
+class TestPropagation:
+    def test_recurrence_equals_closed_form(self):
+        """L_{i+1} = L_1 + (1-L_1) L_i must equal 1-(1-L_1)^(i+1)."""
+        L1 = 0.04
+        L = L1
+        for i in range(1, 50):
+            assert determined_fraction(i, L1) == pytest.approx(L)
+            L = L1 + (1 - L1) * L
+
+    def test_undetermined_complements_determined(self):
+        for i in (1, 10, 100):
+            assert undetermined_fraction(i, 0.04) + determined_fraction(i, 0.04) == pytest.approx(1.0)
+
+    def test_series_matches_pointwise(self):
+        series = undetermined_series(20, 0.04)
+        for i in range(1, 21):
+            assert series[i - 1] == pytest.approx(undetermined_fraction(i, 0.04))
+
+    def test_paper_vanishing_point(self):
+        """With L_1 = 4 %, undetermined drops below 1 % near window
+        ~115 — consistent with Figure 2's ~150-window vanishing."""
+        n = windows_until_determined(0.04, 0.01)
+        assert 100 <= n <= 130
+
+    def test_window_index_starts_at_one(self):
+        with pytest.raises(ValueError):
+            determined_fraction(0, 0.04)
+
+    def test_invalid_L1(self):
+        with pytest.raises(ValueError):
+            windows_until_determined(0.0)
+        with pytest.raises(ValueError):
+            windows_until_determined(1.5)
+
+    @given(st.floats(min_value=0.001, max_value=0.5),
+           st.integers(min_value=1, max_value=500))
+    @settings(max_examples=100, deadline=None)
+    def test_property_monotone_decay(self, L1, i):
+        assert undetermined_fraction(i + 1, L1) < undetermined_fraction(i, L1)
+        assert 0.0 <= undetermined_fraction(i, L1) <= 1.0
+
+    @given(st.floats(min_value=0.01, max_value=0.3))
+    @settings(max_examples=50, deadline=None)
+    def test_property_threshold_bracketing(self, L1):
+        n = windows_until_determined(L1, 0.05)
+        assert undetermined_fraction(n, L1) < 0.05
+        if n > 1:
+            assert undetermined_fraction(n - 1, L1) >= 0.05
+
+
+class TestModelVsMeasurement:
+    def test_model_matches_zlib_literal_rate_on_dna(self):
+        """End-to-end V-D check: the literal rate zlib's lazy parser
+        actually produces on random DNA sits near the model's L_1."""
+        from repro.analysis import tokens_of_zlib
+        from repro.data import random_dna
+
+        dna = random_dna(400_000, seed=99)
+        tokens = tokens_of_zlib(dna, 6)
+        stats = tokens.stats()
+        la = stats.mean_length
+        model_rate = literal_rate(mean_match_length=la)
+        # Steady-state literal count per output byte (skip first window).
+        pos, lits, total = 0, 0, 0
+        for t in tokens:
+            if pos > 65536:
+                total += t.length
+                lits += t.is_literal
+            pos += t.length
+        measured = lits / total
+        assert measured == pytest.approx(model_rate, rel=0.6)

@@ -1,0 +1,58 @@
+"""Monte-Carlo cross-validation of the Section V analytic models.
+
+The analytic formulas assume independent match events; the simulators
+make no such assumption, so agreement here bounds the modelling error
+the paper's "experimentally-verified approximation" language refers to.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import literal_probability, match_probability, undetermined_series
+from repro.models.montecarlo import (
+    simulate_decay,
+    simulate_literal_probability,
+    simulate_match_probability,
+)
+
+
+class TestMatchProbability:
+    @pytest.mark.parametrize("k,tol", [(5, 0.05), (7, 0.10), (8, 0.12)])
+    def test_simulation_matches_analytic(self, k, tol):
+        sim = simulate_match_probability(k, trials=120, seed=1)
+        ana = match_probability(k)
+        assert abs(sim - ana) < tol
+
+    def test_saturated_regime(self):
+        # k=4: p_k ~ 1 to within sampling noise.
+        assert simulate_match_probability(4, trials=50, seed=2) == 1.0
+
+    def test_rare_regime(self):
+        # k=12: matches essentially never occur.
+        assert simulate_match_probability(12, trials=50, seed=3) < 0.1
+
+
+class TestLiteralProbability:
+    def test_simulation_within_model_error_band(self):
+        """The independence assumption inflates the analytic p_l by a
+        bounded factor; simulated and analytic must agree within 35 %."""
+        sim = simulate_literal_probability(trials=150, seed=2)
+        ana = literal_probability()
+        assert 0.65 * ana < sim < 1.35 * ana
+
+
+class TestDecaySimulation:
+    def test_matches_closed_form(self):
+        sim = simulate_decay(0.04, 120, W=4096, seed=3)
+        model = undetermined_series(120, 0.04)
+        assert np.abs(sim - model).max() < 0.05
+
+    def test_faster_decay_with_larger_L1(self):
+        slow = simulate_decay(0.02, 80, seed=4)
+        fast = simulate_decay(0.10, 80, seed=4)
+        assert fast[40] < slow[40]
+
+    def test_monotone_trend(self):
+        sim = simulate_decay(0.05, 100, seed=5)
+        # Smoothed monotone decay (individual steps are stochastic).
+        assert sim[:10].mean() > sim[45:55].mean() > sim[-10:].mean()

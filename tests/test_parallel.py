@@ -1,0 +1,64 @@
+"""Execution backends."""
+
+import os
+
+import pytest
+
+from repro.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+
+
+def square(x):
+    return x * x
+
+
+class TestSerialExecutor:
+    def test_order_preserved(self):
+        assert SerialExecutor().map(square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty(self):
+        assert SerialExecutor().map(square, []) == []
+
+    def test_parallelism(self):
+        assert SerialExecutor().parallelism == 1
+
+
+class TestThreadExecutor:
+    def test_order_preserved(self):
+        assert ThreadExecutor(4).map(square, list(range(20))) == [i * i for i in range(20)]
+
+    def test_single_item_inline(self):
+        assert ThreadExecutor(4).map(square, [5]) == [25]
+
+    def test_default_worker_count(self):
+        assert ThreadExecutor().n_workers == (os.cpu_count() or 1)
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            ThreadExecutor(2).map(boom, [1, 2])
+
+
+class TestProcessExecutor:
+    def test_order_preserved(self):
+        assert ProcessExecutor(2).map(square, [4, 3]) == [16, 9]
+
+    def test_parallelism_reported(self):
+        assert ProcessExecutor(3).parallelism == 3
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("thread", 2), ThreadExecutor)
+        assert isinstance(make_executor("process", 2), ProcessExecutor)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_executor("gpu")

@@ -1,0 +1,66 @@
+"""Measured-to-testbed projection of the cost model."""
+
+import pytest
+
+from repro.perf.costmodel import CostModel
+from repro.perf.projection import project_model, projected_speedup_report
+
+
+@pytest.fixture()
+def python_like_model():
+    """A plausible pure-Python measurement (MB/s)."""
+    return CostModel(
+        gunzip_mbps=1.2,
+        libdeflate_mbps=2.0,
+        pass1_mbps=0.6,
+        translate_mbps=80.0,
+        cat_mbps=4000.0,
+        physical_cores=1,
+        sync_seconds=0.3,
+        resolve_seconds_per_boundary=1e-4,
+        compression_ratio=3.2,
+    )
+
+
+class TestProjectModel:
+    def test_anchor_hit_exactly(self, python_like_model):
+        projected = project_model(python_like_model, target_libdeflate_mbps=118.0)
+        assert projected.libdeflate_mbps == 118.0
+        assert projected.physical_cores == 24
+
+    def test_stage_ratios_preserved(self, python_like_model):
+        """Projection scales, it does not reshuffle: the gunzip/
+        libdeflate and pass1/libdeflate ratios survive."""
+        p = project_model(python_like_model)
+        m = python_like_model
+        assert p.gunzip_mbps / p.libdeflate_mbps == pytest.approx(
+            m.gunzip_mbps / m.libdeflate_mbps
+        )
+        assert p.pass1_mbps / p.libdeflate_mbps == pytest.approx(
+            m.pass1_mbps / m.libdeflate_mbps
+        )
+
+    def test_sync_time_shrinks(self, python_like_model):
+        p = project_model(python_like_model)
+        assert p.sync_seconds < python_like_model.sync_seconds
+
+    def test_invalid_measured_model(self, python_like_model):
+        from dataclasses import replace
+
+        broken = replace(python_like_model, libdeflate_mbps=0.0)
+        with pytest.raises(ValueError):
+            project_model(broken)
+
+
+class TestProjectedReport:
+    def test_report_structure_and_sanity(self, python_like_model):
+        report = projected_speedup_report(python_like_model)
+        assert report["libdeflate_mbps"] == pytest.approx(118.0)
+        assert report["pugz_mbps"] > report["libdeflate_mbps"]
+        assert report["speedup_vs_gunzip"] > report["speedup_vs_libdeflate"] > 1.0
+
+    def test_speedup_bounded_by_cores(self, python_like_model):
+        report = projected_speedup_report(python_like_model, n_threads=32)
+        # pugz per-thread is slower than gunzip here, so the speedup
+        # cannot exceed core count.
+        assert report["speedup_vs_gunzip"] < 24
