@@ -1,12 +1,20 @@
 # Convenience targets (plain pytest works too; see CONTRIBUTING.md).
 
-.PHONY: install test bench bench-report examples all clean
+.PHONY: install test fuzz check bench bench-report examples all clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/ -q
+
+# Bounded, fully seeded fault-injection pass (deterministic; < 60 s):
+# the robustness-marked tests run the 270-case campaign and the
+# recover-mode property checks excluded from the default `test` run.
+fuzz:
+	pytest tests/robustness -q -m robustness
+
+check: test fuzz
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -63,6 +63,9 @@ def _cmd_pugz(args) -> int:
         executor=args.executor,
         verify=args.verify,
         return_report=True,
+        on_error=args.on_error,
+        allow_trailing_garbage=args.allow_trailing_garbage,
+        max_resync_search_bits=args.max_resync_search_bits,
     )
     dt = time.perf_counter() - t0
     _write(args.output or "-", out)
@@ -72,7 +75,38 @@ def _cmd_pugz(args) -> int:
         f"/ resolve {report.resolve_seconds:.3f} / pass2 {report.pass2_seconds:.2f})",
         file=sys.stderr,
     )
-    return 0
+    if report.trailing_garbage_offset is not None:
+        print(
+            f"pugz: ignored trailing garbage at byte {report.trailing_garbage_offset}",
+            file=sys.stderr,
+        )
+    data_lost = bool(
+        report.holes or report.unresolved_markers or report.verify_failures
+    )
+    if not data_lost:
+        # Explicitly-allowed trailing garbage alone is not a failure:
+        # every decompressed byte is present and exact.
+        if report.trailing_garbage_offset is None or args.allow_trailing_garbage:
+            return 0
+        return 3
+    # Partial output: say exactly what was lost, and exit non-zero so
+    # pipelines notice, while still having written everything salvaged.
+    for hole in report.holes:
+        print(
+            f"pugz: hole in chunk {hole.chunk_index}: compressed bytes "
+            f"{hole.start_byte}..{hole.end_byte} lost ({hole.error})",
+            file=sys.stderr,
+        )
+    if report.unresolved_markers:
+        print(
+            f"pugz: {report.unresolved_markers} output bytes unresolved "
+            "(written as '?')",
+            file=sys.stderr,
+        )
+    for failure in report.verify_failures:
+        print(f"pugz: verification failed: {failure}", file=sys.stderr)
+    print("pugz: output is PARTIAL", file=sys.stderr)
+    return 3
 
 
 def _cmd_sync(args) -> int:
@@ -221,6 +255,32 @@ def _cmd_bgzf(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.robustness import run_campaign
+
+    progress = None
+    if args.verbose:
+        def progress(case):
+            print(f"  {case.case_id}: {case.outcome}", file=sys.stderr)
+
+    report = run_campaign(
+        n_seeds=args.seeds,
+        base_seed=args.base_seed,
+        n_chunks=args.threads,
+        max_resync_search_bits=args.max_resync_search_bits,
+        progress=progress,
+    )
+    if args.json:
+        _write(args.json, report.to_json(indent=2).encode())
+    print(f"fuzz: {report.summary()}", file=sys.stderr)
+    for case in report.crashes:
+        print(
+            f"fuzz: CRASH {case.case_id}: {case.error_type} {case.error_context}",
+            file=sys.stderr,
+        )
+    return 1 if report.crashes else 0
+
+
 def _cmd_info(args) -> int:
     from repro.deflate import split_members
     from repro.deflate.inflate import inflate
@@ -287,6 +347,13 @@ def build_parser() -> argparse.ArgumentParser:
     z.add_argument("-t", "--threads", type=int, default=4)
     z.add_argument("--executor", choices=("serial", "thread", "process"), default="process")
     z.add_argument("--verify", action="store_true", help="check CRC32/ISIZE")
+    z.add_argument("--on-error", choices=("raise", "recover"), default="raise",
+                   help="recover: salvage around corrupted chunks, report holes, "
+                        "exit 3 with partial output")
+    z.add_argument("--allow-trailing-garbage", action="store_true",
+                   help="warn and stop at non-gzip bytes after the last member")
+    z.add_argument("--max-resync-search-bits", type=int, default=None,
+                   help="bound each recover-mode resync search")
     z.set_defaults(func=_cmd_pugz)
 
     s = sub.add_parser("sync", help="find a DEFLATE block start")
@@ -339,6 +406,15 @@ def build_parser() -> argparse.ArgumentParser:
     x.add_argument("--size", type=int, default=1024)
     x.add_argument("-o", "--output")
     x.set_defaults(func=_cmd_index)
+
+    f = sub.add_parser("fuzz", help="seeded fault-injection campaign")
+    f.add_argument("--seeds", type=int, default=9, help="seeds per (corpus, injector) cell")
+    f.add_argument("--base-seed", type=int, default=1000)
+    f.add_argument("-t", "--threads", type=int, default=2)
+    f.add_argument("--max-resync-search-bits", type=int, default=20000)
+    f.add_argument("--json", help="write the full machine-readable report here")
+    f.add_argument("-v", "--verbose", action="store_true", help="print each case")
+    f.set_defaults(func=_cmd_fuzz)
 
     b = sub.add_parser("bgzf", help="blocked gzip (BGZF) operations (ref [12])")
     b.add_argument("mode", choices=("compress", "decompress", "extract"))

@@ -19,7 +19,7 @@ from repro.core.marker_inflate import MarkerInflateResult, marker_inflate
 from repro.core.parallel_index import pugz_build_index
 from repro.core.pigz import pigz_compress
 from repro.core.recovery import RecoveryReport, locate_corruption, recover
-from repro.core.pugz import PugzReport, pugz_decompress, pugz_decompress_payload
+from repro.core.pugz import PugzHole, PugzReport, pugz_decompress, pugz_decompress_payload
 from repro.core.random_access import RandomAccessReport, random_access_sequences
 from repro.core.seqstream import StreamingSequenceExtractor
 from repro.core.sequences import ExtractedSequence, extract_sequences
@@ -32,6 +32,7 @@ __all__ = [
     "pugz_decompress",
     "pugz_decompress_payload",
     "PugzReport",
+    "PugzHole",
     "pugz_decompress_windowed",
     "iter_pugz",
     "WindowedReport",

@@ -243,9 +243,15 @@ def _decode_block_symbols(
         entry = lit_table[reader._bitbuf & lit_mask]
         nbits = entry & 15
         if nbits == 0:
-            raise HuffmanError("invalid litlen code")
+            raise HuffmanError(
+                "invalid litlen code",
+                bit_offset=reader.tell_bits(), stage="marker_inflate",
+            )
         if nbits > reader._bitcount:
-            raise BitstreamError("litlen code past end of stream")
+            raise BitstreamError(
+                "litlen code past end of stream",
+                bit_offset=reader.tell_bits(), stage="marker_inflate",
+            )
         reader._bitbuf >>= nbits
         reader._bitcount -= nbits
         sym = entry >> 4
@@ -257,34 +263,50 @@ def _decode_block_symbols(
         if sym == C.END_OF_BLOCK:
             return False
         if sym > C.MAX_USED_LITLEN:
-            raise HuffmanError(f"invalid length symbol {sym}")
+            raise HuffmanError(
+                f"invalid length symbol {sym}",
+                bit_offset=reader.tell_bits(), stage="marker_inflate",
+            )
 
         idx = sym - 257
         extra = lextra[idx]
         length = lbase[idx] + (reader.read(extra) if extra else 0)
 
         if dist_table is None:
-            raise BackrefError("match in block that declared no distance codes")
+            raise BackrefError(
+                "match in block that declared no distance codes",
+                bit_offset=reader.tell_bits(), stage="marker_inflate",
+            )
         if reader._bitcount < dist_bits:
             reader._refill()
         entry = dist_table[reader._bitbuf & dist_mask]
         nbits = entry & 15
         if nbits == 0:
-            raise HuffmanError("invalid distance code")
+            raise HuffmanError(
+                "invalid distance code",
+                bit_offset=reader.tell_bits(), stage="marker_inflate",
+            )
         if nbits > reader._bitcount:
-            raise BitstreamError("distance code past end of stream")
+            raise BitstreamError(
+                "distance code past end of stream",
+                bit_offset=reader.tell_bits(), stage="marker_inflate",
+            )
         reader._bitbuf >>= nbits
         reader._bitcount -= nbits
         dsym = entry >> 4
         if dsym > C.MAX_USED_DIST:
-            raise HuffmanError(f"invalid distance symbol {dsym}")
+            raise HuffmanError(
+                f"invalid distance symbol {dsym}",
+                bit_offset=reader.tell_bits(), stage="marker_inflate",
+            )
         dex = dextra[dsym]
         distance = dbase[dsym] + (reader.read(dex) if dex else 0)
 
         pos = len(out) - distance
         if pos < 0:
             raise BackrefError(
-                f"distance {distance} exceeds seeded window + history"
+                f"distance {distance} exceeds seeded window + history",
+                bit_offset=reader.tell_bits(), stage="marker_inflate",
             )
         if distance >= length:
             out.extend(out[pos : pos + length])

@@ -19,11 +19,36 @@ throughout the test suite.  Extensions over the paper's implementation:
 multi-member (blocked) gzip files are handled member-by-member, and
 CRC32 can be verified in a parallel-friendly way via
 :func:`repro.deflate.crc32.crc32_combine` (the paper's pugz skips CRC).
+
+Fault tolerance (``on_error="recover"``)
+----------------------------------------
+
+The paper pitches the machinery for forensics on corrupted FASTQ
+archives (Section VI-B).  In the default ``on_error="raise"`` mode a
+corrupted chunk aborts the whole run; in ``"recover"`` mode the engine
+degrades gracefully instead:
+
+* per-chunk failures are captured (:meth:`Executor.map_outcomes`)
+  rather than aborting the pool;
+* a failed chunk is re-decoded block by block up to the fault, then
+  resynced past it with :func:`repro.core.sync.find_block_start` and
+  decoded to its end — so everything decodable on both sides of the
+  damage is salvaged;
+* data after a fault whose 32 KiB context fell inside a hole renders as
+  ``?`` placeholders (the paper's Figure 1 convention) instead of
+  failing translation;
+* every lost compressed region is recorded as a :class:`PugzHole` in
+  the :class:`PugzReport`, and trailer verification failures are
+  recorded instead of raised.
+
+The output is then *best effort*: all clean chunks byte-exact, holes
+explicit, and the report says precisely what is missing.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -31,14 +56,51 @@ import numpy as np
 from repro.core import marker
 from repro.core.chunking import Chunk, plan_chunks
 from repro.core.marker_inflate import marker_inflate
-from repro.core.translate import resolve_contexts, translate_chunk
+from repro.core.sync import find_block_start
+from repro.core.translate import translate_chunk_counted
+from repro.deflate.constants import WINDOW_SIZE
 from repro.deflate.crc32 import crc32, crc32_combine
 from repro.deflate.gzipfmt import parse_gzip_header
 from repro.deflate.inflate import inflate
-from repro.errors import GzipFormatError, ReproError
+from repro.errors import GzipFormatError, ReproError, annotate
 from repro.parallel.executor import Executor, make_executor
 
-__all__ = ["PugzReport", "pugz_decompress", "pugz_decompress_payload"]
+__all__ = ["PugzHole", "PugzReport", "pugz_decompress", "pugz_decompress_payload"]
+
+#: Rendering of undecodable positions in recovered output.
+HOLE_BYTE = ord("?")
+
+
+@dataclass(frozen=True)
+class PugzHole:
+    """One compressed region whose decompressed bytes were lost.
+
+    ``[start_bit, end_bit)`` is the compressed span that produced no
+    output: from where clean decoding stopped to where it resynced (or
+    to the end of the chunk's region if no resync succeeded).
+    """
+
+    chunk_index: int
+    start_bit: int
+    end_bit: int
+    #: Message of the error that opened the hole.
+    error: str
+
+    @property
+    def start_byte(self) -> int:
+        return self.start_bit >> 3
+
+    @property
+    def end_byte(self) -> int:
+        return (self.end_bit + 7) >> 3
+
+    def to_dict(self) -> dict:
+        return {
+            "chunk_index": self.chunk_index,
+            "start_bit": self.start_bit,
+            "end_bit": self.end_bit,
+            "error": self.error,
+        }
 
 
 @dataclass
@@ -51,6 +113,18 @@ class PugzReport:
     chunk_output_sizes: list[int] = field(default_factory=list)
     #: Markers remaining in each chunk's output after pass 1.
     chunk_marker_counts: list[int] = field(default_factory=list)
+    #: Per-chunk outcome of the last member: ``ok`` / ``salvaged`` / ``lost``.
+    chunk_outcomes: list[str] = field(default_factory=list)
+    #: Compressed regions lost to corruption (recover mode; all members).
+    holes: list[PugzHole] = field(default_factory=list)
+    #: Output positions rendered as ``?`` because their context fell in
+    #: a hole (recover mode; all members).
+    unresolved_markers: int = 0
+    #: Trailer verification failures recorded instead of raised
+    #: (recover mode with ``verify=True``).
+    verify_failures: list[str] = field(default_factory=list)
+    #: Byte offset of ignored trailing garbage after the last member.
+    trailing_garbage_offset: int | None = None
     sync_seconds: float = 0.0
     pass1_seconds: float = 0.0
     resolve_seconds: float = 0.0
@@ -69,6 +143,40 @@ class PugzReport:
             + self.pass2_seconds
         )
 
+    @property
+    def is_complete(self) -> bool:
+        """True when nothing was lost: no holes, no placeholder bytes,
+        no recorded verification failure, no ignored trailing garbage."""
+        return (
+            not self.holes
+            and not self.unresolved_markers
+            and not self.verify_failures
+            and self.trailing_garbage_offset is None
+        )
+
+
+@dataclass
+class _Segment:
+    """A contiguous marker-domain piece of pass-1 output.
+
+    A clean chunk is one chained segment; a corrupted chunk salvages
+    into several, with ``chained=False`` on each piece whose 32 KiB
+    context fell inside a hole (its markers can never be resolved).
+    """
+
+    chunk_index: int
+    symbols: np.ndarray
+    window: np.ndarray
+    end_bit: int
+    final_seen: bool
+    chained: bool
+
+
+def _undetermined_window_array() -> np.ndarray:
+    return np.arange(
+        marker.MARKER_BASE, marker.MARKER_BASE + WINDOW_SIZE, dtype=np.int32
+    )
+
 
 def _seed_window_array(tail: bytes) -> list[int]:
     """Right-align ``tail`` in a 32 KiB window, marker-padding the left."""
@@ -79,28 +187,141 @@ def _seed_window_array(tail: bytes) -> list[int]:
     return vals
 
 
-def _pass1_chunk(args) -> tuple[int, np.ndarray, np.ndarray, int, bool]:
+def _pass1_chunk(args) -> tuple[int, np.ndarray, np.ndarray, int, bool, int]:
     """First-pass worker: decode one chunk into the marker domain.
 
     Module-level so :class:`ProcessExecutor` can pickle it.  Returns
-    ``(index, symbols, final_window, end_bit, final_seen)``.
+    ``(index, symbols, final_window, end_bit, final_seen, n_blocks)``.
+    A failure is annotated with the chunk index before propagating, so
+    captured outcomes name the chunk that died.
     """
     data, chunk_start, chunk_stop, index = args
-    if index == 0 and chunk_stop is None:
-        # Sole chunk with a fully known (empty) context: decode in the
-        # byte domain, which is faster and yields a concrete window.
-        result = inflate(data, start_bit=chunk_start, stop_at_final=True)
-        symbols = np.frombuffer(result.data, dtype=np.uint8).astype(np.int32)
-        window_syms = np.asarray(_seed_window_array(result.data[-32768:]), dtype=np.int32)
-        return 0, symbols, window_syms, result.end_bit, result.final_seen
-    result = marker_inflate(data, start_bit=chunk_start, window=None, stop_bit=chunk_stop)
-    return index, result.symbols, result.window, result.end_bit, result.final_seen
+    try:
+        if index == 0 and chunk_stop is None:
+            # Sole chunk with a fully known (empty) context: decode in the
+            # byte domain, which is faster and yields a concrete window.
+            result = inflate(data, start_bit=chunk_start, stop_at_final=True)
+            symbols = np.frombuffer(result.data, dtype=np.uint8).astype(np.int32)
+            window_syms = np.asarray(
+                _seed_window_array(result.data[-32768:]), dtype=np.int32
+            )
+            return 0, symbols, window_syms, result.end_bit, result.final_seen, len(result.blocks)
+        result = marker_inflate(
+            data, start_bit=chunk_start, window=None, stop_bit=chunk_stop
+        )
+        return (
+            index,
+            result.symbols,
+            result.window,
+            result.end_bit,
+            result.final_seen,
+            len(result.blocks),
+        )
+    except ReproError as exc:
+        annotate(exc, chunk_index=index, stage="pass1", bit_offset=chunk_start)
+        raise
 
 
-def _pass2_chunk(args) -> bytes:
-    """Second-pass worker: translate one chunk's markers to bytes."""
-    symbols, context = args
-    return translate_chunk(symbols, context)
+def _pass2_chunk(args) -> tuple[bytes, int]:
+    """Second-pass worker: translate one segment's markers to bytes."""
+    symbols, context, placeholder = args
+    return translate_chunk_counted(symbols, context, placeholder=placeholder)
+
+
+def _decode_chunk_prefix(data, start_bit: int, stop_bit: int | None):
+    """Marker-decode block by block from ``start_bit`` until the first
+    failure (or the chunk boundary / BFINAL block).
+
+    Returns ``(symbols, window, end_bit, final_seen)`` where ``end_bit``
+    is the boundary of the last *cleanly* decoded block — the precise
+    start of the damage when decoding stopped early.
+    """
+    window = None  # undetermined initial context
+    parts: list[np.ndarray] = []
+    bit = start_bit
+    final = False
+    while stop_bit is None or bit < stop_bit:
+        try:
+            res = marker_inflate(
+                data, start_bit=bit, window=window, max_blocks=1, stop_bit=stop_bit
+            )
+        except ReproError:
+            break
+        if not res.blocks or res.end_bit <= bit:
+            break
+        parts.append(res.symbols)
+        window = res.window
+        bit = res.end_bit
+        if res.final_seen:
+            final = True
+            break
+    symbols = (
+        np.concatenate(parts) if parts else np.zeros(0, dtype=np.int32)
+    )
+    if window is None:
+        window_arr = _undetermined_window_array()
+    else:
+        window_arr = np.asarray(window, dtype=np.int32)
+    return symbols, window_arr, bit, final
+
+
+def _salvage_chunk(
+    data,
+    chunk: Chunk,
+    region_end: int,
+    confirm_blocks: int,
+    max_resync_search_bits: int | None,
+    err: BaseException,
+) -> tuple[list[_Segment], list[PugzHole]]:
+    """Best-effort decode of a chunk that failed in pass 1.
+
+    Alternates clean block-by-block decoding with block-start resync
+    (the Section VI-A machinery) until the chunk's compressed region is
+    exhausted, producing zero or more salvaged segments and one hole
+    per undecodable span.  The final segment's window hands the correct
+    (possibly partially unknown) context to the next chunk.
+    """
+    segments: list[_Segment] = []
+    holes: list[PugzHole] = []
+    bit = chunk.start_bit
+    chained = True  # the first piece continues the previous chunk's context
+    while bit < region_end:
+        symbols, window, end, final = _decode_chunk_prefix(data, bit, chunk.stop_bit)
+        if len(symbols):
+            segments.append(
+                _Segment(chunk.index, symbols, window, end, final, chained)
+            )
+        if final or end >= region_end:
+            return segments, holes
+        if chunk.stop_bit is not None and end >= chunk.stop_bit:
+            return segments, holes
+        # Damage at `end`: resync past it within this chunk's region.
+        try:
+            sync = find_block_start(
+                data,
+                start_bit=end + 1,
+                end_bit=region_end,
+                confirm_blocks=confirm_blocks,
+                max_search_bits=max_resync_search_bits,
+            )
+        except ReproError:
+            holes.append(PugzHole(chunk.index, end, region_end, str(err)))
+            break
+        holes.append(PugzHole(chunk.index, end, sync.bit_offset, str(err)))
+        bit = sync.bit_offset
+        chained = False  # context before the resync point is gone
+    # The region ended inside a hole: the next chunk's context is unknown.
+    segments.append(
+        _Segment(
+            chunk.index,
+            np.zeros(0, dtype=np.int32),
+            _undetermined_window_array(),
+            region_end,
+            False,
+            False,
+        )
+    )
+    return segments, holes
 
 
 def pugz_decompress_payload(
@@ -111,6 +332,10 @@ def pugz_decompress_payload(
     executor: Executor | str = "serial",
     confirm_blocks: int = 5,
     report: PugzReport | None = None,
+    *,
+    on_error: str = "raise",
+    max_resync_search_bits: int | None = None,
+    placeholder: int = HOLE_BYTE,
 ) -> bytes:
     """Two-pass parallel decompression of one raw DEFLATE payload.
 
@@ -119,11 +344,24 @@ def pugz_decompress_payload(
     is fine — decoding stops at the BFINAL block).  ``executor``
     selects the backend (``serial`` / ``thread`` / ``process`` or an
     :class:`~repro.parallel.executor.Executor` instance).
+
+    ``on_error="recover"`` salvages around corrupted regions instead of
+    raising (see the module docstring); lost spans are recorded in the
+    report's ``holes`` and unknown output positions render as
+    ``placeholder``.
     """
+    if on_error not in ("raise", "recover"):
+        raise ValueError(f"on_error must be 'raise' or 'recover', got {on_error!r}")
     if isinstance(executor, str):
         executor = make_executor(executor, n_chunks)
     if report is None:
         report = PugzReport(n_chunks_requested=n_chunks)
+    if end_bit <= start_bit or start_bit >= 8 * len(data):
+        raise GzipFormatError(
+            f"empty DEFLATE payload region [{start_bit}, {end_bit})",
+            bit_offset=start_bit,
+            stage="plan",
+        )
 
     t0 = time.perf_counter()
     chunks = plan_chunks(data, start_bit, end_bit, n_chunks, confirm_blocks=confirm_blocks)
@@ -136,40 +374,92 @@ def pugz_decompress_payload(
     for c in chunks:
         stop = c.stop_bit if c.stop_bit is not None else None
         jobs.append((data, c.start_bit, stop, c.index))
-    results = executor.map(_pass1_chunk, jobs)
-    results.sort(key=lambda r: r[0])
+    outcomes = executor.map_outcomes(_pass1_chunk, jobs)
+
+    per_chunk: list[tuple[list[_Segment], list[PugzHole], str]] = []
+    total_blocks = 0
+    for c, oc in zip(chunks, outcomes):
+        region_end = c.stop_bit if c.stop_bit is not None else end_bit
+        if oc.ok:
+            index, symbols, window, seg_end, final_seen, n_blocks = oc.value
+            total_blocks += n_blocks
+            per_chunk.append(
+                (
+                    [_Segment(index, symbols, window, seg_end, final_seen, True)],
+                    [],
+                    "ok",
+                )
+            )
+            continue
+        if on_error == "raise" or not isinstance(oc.error, ReproError):
+            raise oc.error
+        segments, holes = _salvage_chunk(
+            data, c, region_end, confirm_blocks, max_resync_search_bits, oc.error
+        )
+        total_blocks += sum(1 for s in segments if len(s.symbols))
+        per_chunk.append(
+            (segments, holes, "salvaged" if any(len(s.symbols) for s in segments) else "lost")
+        )
+
     # A chunk that decoded a BFINAL block marks the true stream end
     # (the planner's end_bit is only an upper bound): drop any chunks
     # planned past it — their block starts belong to whatever follows
     # (e.g. the next member of a multi-member file).
-    for k, r in enumerate(results):
-        if r[4]:
-            results = results[: k + 1]
-            report.chunks = chunks[: k + 1]
+    for k, (segs, _, _) in enumerate(per_chunk):
+        if any(s.final_seen for s in segs):
+            per_chunk = per_chunk[: k + 1]
+            chunks = chunks[: k + 1]
+            report.chunks = chunks
             break
-    symbol_arrays = [r[1] for r in results]
-    windows = [r[2] for r in results]
-    report.end_bit = results[-1][3]
-    report.pass1_seconds += time.perf_counter() - t0
-    report.chunk_output_sizes = [len(s) for s in symbol_arrays]
-    report.chunk_marker_counts = [marker.count_markers(s) for s in symbol_arrays]
 
-    if report.chunk_marker_counts[0]:
+    segments = [s for segs, _, _ in per_chunk for s in segs]
+    report.chunk_outcomes = [outcome for _, _, outcome in per_chunk]
+    for _, holes, _ in per_chunk:
+        report.holes.extend(holes)
+    report.pass1_seconds += time.perf_counter() - t0
+
+    report.chunk_output_sizes = [
+        sum(len(s.symbols) for s in segs) for segs, _, _ in per_chunk
+    ]
+    report.chunk_marker_counts = [
+        sum(marker.count_markers(s.symbols) for s in segs) for segs, _, _ in per_chunk
+    ]
+    final_any = any(s.final_seen for s in segments)
+    report.end_bit = segments[-1].end_bit if segments else start_bit
+
+    if total_blocks == 0 and not final_any:
+        raise GzipFormatError(
+            "no DEFLATE blocks decodable in payload",
+            bit_offset=start_bit,
+            stage="pass1",
+        )
+    if on_error == "raise" and report.chunk_marker_counts[0]:
         raise ReproError(
-            "chunk 0 produced markers: stream references data before its start"
+            "chunk 0 produced markers: stream references data before its start",
+            chunk_index=0,
+            stage="pass1",
         )
 
     # ---- pass 2a: sequential context resolution (cheap) ------------------
     t0 = time.perf_counter()
-    contexts = resolve_contexts(windows)
+    undetermined = _undetermined_window_array()
+    contexts: list[np.ndarray] = []
+    resolved_prev: np.ndarray | None = None
+    for seg in segments:
+        ctx = resolved_prev if (seg.chained and resolved_prev is not None) else undetermined
+        contexts.append(ctx)
+        resolved_prev = marker.resolve(seg.window, ctx)
     report.resolve_seconds += time.perf_counter() - t0
 
     # ---- pass 2b: parallel marker translation ----------------------------
     t0 = time.perf_counter()
-    first_bytes = symbol_arrays[0].astype(np.uint8).tobytes()
-    rest_jobs = [(symbol_arrays[i], contexts[i - 1]) for i in range(1, len(symbol_arrays))]
-    rest_bytes = executor.map(_pass2_chunk, rest_jobs) if rest_jobs else []
-    out = first_bytes + b"".join(rest_bytes)
+    hole_byte = placeholder if on_error == "recover" else None
+    pass2_jobs = [
+        (seg.symbols, ctx, hole_byte) for seg, ctx in zip(segments, contexts)
+    ]
+    translated = executor.map(_pass2_chunk, pass2_jobs) if pass2_jobs else []
+    out = b"".join(piece for piece, _ in translated)
+    report.unresolved_markers += sum(count for _, count in translated)
     report.pass2_seconds += time.perf_counter() - t0
     report.output_size += len(out)
     return out
@@ -183,6 +473,9 @@ def pugz_decompress(
     verify: bool = False,
     confirm_blocks: int = 5,
     return_report: bool = False,
+    on_error: str = "raise",
+    allow_trailing_garbage: bool = False,
+    max_resync_search_bits: int | None = None,
 ):
     """Parallel decompression of a gzip file (the paper's ``pugz``).
 
@@ -204,15 +497,49 @@ def pugz_decompress(
         :func:`crc32_combine`, keeping verification parallel-friendly.
     return_report:
         Also return the :class:`PugzReport` instrumentation.
+    on_error:
+        ``"raise"`` (default) aborts on the first corrupted chunk;
+        ``"recover"`` salvages everything decodable, records lost spans
+        as :class:`PugzHole` entries, and downgrades verification
+        failures to report entries.
+    allow_trailing_garbage:
+        Tolerate non-gzip bytes after the last member (common in
+        real-world truncated downloads and tar-like concatenations):
+        warn, record the offset in the report, and stop instead of
+        raising.  Implied by ``on_error="recover"``.
+    max_resync_search_bits:
+        Bound on each recover-mode resync search (bits past the fault).
     """
+    if on_error not in ("raise", "recover"):
+        raise ValueError(f"on_error must be 'raise' or 'recover', got {on_error!r}")
     if isinstance(executor, str):
         executor = make_executor(executor, n_chunks)
     report = PugzReport(n_chunks_requested=n_chunks)
+    if not gz_data:
+        raise GzipFormatError("empty input", bit_offset=0, stage="container")
     out_parts: list[bytes] = []
     offset = 0
     n = len(gz_data)
     while offset < n:
-        payload_start, *_ = parse_gzip_header(gz_data, offset)
+        try:
+            payload_start, *_ = parse_gzip_header(gz_data, offset)
+        except GzipFormatError as exc:
+            if offset == 0:
+                raise
+            if allow_trailing_garbage or on_error == "recover":
+                warnings.warn(
+                    f"ignoring {n - offset} bytes of trailing garbage after the "
+                    f"last gzip member (byte offset {offset}): {exc.message}",
+                    stacklevel=2,
+                )
+                report.trailing_garbage_offset = offset
+                break
+            raise GzipFormatError(
+                f"trailing garbage after last gzip member: {n - offset} bytes "
+                f"at byte offset {offset} are not a gzip header ({exc.message})",
+                bit_offset=8 * offset,
+                stage="container",
+            ) from exc
         member_out = pugz_decompress_payload(
             gz_data,
             8 * payload_start,
@@ -221,12 +548,32 @@ def pugz_decompress(
             executor,
             confirm_blocks=confirm_blocks,
             report=report,
+            on_error=on_error,
+            max_resync_search_bits=max_resync_search_bits,
         )
         payload_end = (report.end_bit + 7) // 8
         if n - payload_end < 8:
-            raise GzipFormatError("truncated gzip trailer")
+            if on_error == "recover":
+                report.verify_failures.append(
+                    f"member {report.members}: truncated trailer at byte {payload_end}"
+                )
+                out_parts.append(member_out)
+                report.members += 1
+                break
+            raise GzipFormatError(
+                "truncated gzip trailer",
+                bit_offset=8 * payload_end,
+                stage="trailer",
+            )
         if verify:
-            _verify_member(gz_data, payload_end, member_out, executor)
+            try:
+                _verify_member(gz_data, payload_end, member_out, executor)
+            except GzipFormatError as exc:
+                if on_error != "recover":
+                    raise
+                report.verify_failures.append(
+                    f"member {report.members}: {exc}"
+                )
         out_parts.append(member_out)
         offset = payload_end + 8
         report.members += 1
@@ -246,11 +593,15 @@ def _verify_member(gz_data: bytes, payload_end: int, member_out: bytes, executor
         combined = crc32_combine(combined, c, len(part))
     if combined != stored_crc:
         raise GzipFormatError(
-            f"CRC mismatch: stored {stored_crc:#010x}, computed {combined:#010x}"
+            f"CRC mismatch: stored {stored_crc:#010x}, computed {combined:#010x}",
+            bit_offset=8 * payload_end,
+            stage="trailer",
         )
     if stored_isize != len(member_out) & 0xFFFFFFFF:
         raise GzipFormatError(
-            f"ISIZE mismatch: stored {stored_isize}, actual {len(member_out)}"
+            f"ISIZE mismatch: stored {stored_isize}, actual {len(member_out)}",
+            bit_offset=8 * (payload_end + 4),
+            stage="trailer",
         )
 
 

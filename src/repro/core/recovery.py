@@ -105,6 +105,35 @@ class RecoveryReport:
         return to_bytes(self.tail_symbols, placeholder=ord("?"))
 
 
+def _clean_decode(gz_data: bytes, start_bit: int, validator=None) -> tuple[bytes, int, bool]:
+    """Decode block by block until the first block that raises, produces
+    non-text output, or fails ``validator`` (the shared engine of
+    :func:`recover` and :func:`locate_corruption`).
+
+    Returns ``(clean_bytes, end_bit, final_seen)`` where ``end_bit`` is
+    the start of the first suspect block — or the stream's end bit when
+    everything decoded (no corruption found by the available detectors;
+    see the silent-corruption caveat on :func:`_block_looks_clean`).
+    """
+    bit = start_bit
+    window = b""
+    head = bytearray()
+    while True:
+        try:
+            result = inflate(gz_data, start_bit=bit, window=window, max_blocks=1)
+        except DeflateError:
+            return bytes(head), bit, False
+        if not result.blocks or not _block_looks_clean(result.data):
+            return bytes(head), bit, False
+        if validator is not None and not validator(window, result.data):
+            return bytes(head), bit, False
+        head += result.data
+        window = (window + result.data)[-32768:]
+        bit = result.end_bit
+        if result.final_seen:
+            return bytes(head), bit, True
+
+
 def locate_corruption(gz_data: bytes, validator=None) -> int:
     """Bit offset at which clean decoding first fails.
 
@@ -115,21 +144,8 @@ def locate_corruption(gz_data: bytes, validator=None) -> int:
     :func:`_block_looks_clean`).
     """
     payload_start, *_ = parse_gzip_header(gz_data, 0)
-    bit = 8 * payload_start
-    window = b""
-    while True:
-        try:
-            result = inflate(gz_data, start_bit=bit, window=window, max_blocks=1)
-        except DeflateError:
-            return bit
-        if not result.blocks or not _block_looks_clean(result.data):
-            return bit
-        if validator is not None and not validator(window, result.data):
-            return bit
-        window = (window + result.data)[-32768:]
-        bit = result.end_bit
-        if result.final_seen:
-            return bit
+    _, bit, _ = _clean_decode(gz_data, 8 * payload_start, validator)
+    return bit
 
 
 def recover(
@@ -158,24 +174,8 @@ def recover(
     # Phase 1: clean decode until the first broken block (format error
     # or non-text output — corrupted Huffman data often still decodes,
     # into garbage bytes).
-    bit = 8 * payload_start
-    window = b""
-    head = bytearray()
-    while True:
-        try:
-            result = inflate(gz_data, start_bit=bit, window=window, max_blocks=1)
-        except DeflateError:
-            break
-        if not result.blocks or not _block_looks_clean(result.data):
-            break
-        if validator is not None and not validator(window, result.data):
-            break
-        head += result.data
-        window = (window + result.data)[-32768:]
-        bit = result.end_bit
-        if result.final_seen:
-            break
-    report.head = bytes(head)
+    head, bit, _ = _clean_decode(gz_data, 8 * payload_start, validator)
+    report.head = head
     report.head_end_bit = bit
 
     # Phase 2: resync after the damage.

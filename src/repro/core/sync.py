@@ -179,5 +179,7 @@ def find_block_start(
 
     raise SyncError(
         f"no confirmed block start in bits [{start_bit}, {limit})"
-        f" after {tried} candidates"
+        f" after {tried} candidates",
+        bit_offset=start_bit,
+        stage="sync",
     )

@@ -21,7 +21,12 @@ from repro.core import marker
 from repro.deflate.constants import WINDOW_SIZE
 from repro.errors import ReproError
 
-__all__ = ["resolve_contexts", "translate_chunk", "final_window"]
+__all__ = [
+    "resolve_contexts",
+    "translate_chunk",
+    "translate_chunk_counted",
+    "final_window",
+]
 
 
 def final_window(symbols: np.ndarray, initial_window: np.ndarray | None = None) -> np.ndarray:
@@ -64,7 +69,25 @@ def resolve_contexts(windows: list[np.ndarray]) -> list[np.ndarray]:
     return resolved
 
 
-def translate_chunk(symbols: np.ndarray, context: np.ndarray) -> bytes:
-    """Pass-2 translation of one chunk: ``U_j -> context[j]``, to bytes."""
+def translate_chunk(
+    symbols: np.ndarray, context: np.ndarray, placeholder: int | None = None
+) -> bytes:
+    """Pass-2 translation of one chunk: ``U_j -> context[j]``, to bytes.
+
+    With the default ``placeholder=None`` any marker that survives
+    resolution (a reference into genuinely unknown data) raises; the
+    fault-tolerant decompressor passes ``ord('?')`` to render such
+    positions as holes instead.
+    """
     resolved = marker.resolve(symbols, context)
-    return marker.to_bytes(resolved)
+    return marker.to_bytes(resolved, placeholder=placeholder)
+
+
+def translate_chunk_counted(
+    symbols: np.ndarray, context: np.ndarray, placeholder: int | None = None
+) -> tuple[bytes, int]:
+    """Like :func:`translate_chunk`, also reporting how many symbols
+    stayed unresolved (0 for any well-formed stream)."""
+    resolved = marker.resolve(symbols, context)
+    unresolved = marker.count_markers(resolved)
+    return marker.to_bytes(resolved, placeholder=placeholder), unresolved

@@ -65,7 +65,8 @@ class BitReader:
         self._total_bits = 8 * self._nbytes
         if start_bit < 0 or start_bit > self._total_bits:
             raise BitstreamError(
-                f"start_bit {start_bit} outside stream of {self._total_bits} bits"
+                f"start_bit {start_bit} outside stream of {self._total_bits} bits",
+                bit_offset=start_bit,
             )
         self._pos = start_bit >> 3
         self._bitbuf = 0
@@ -128,7 +129,9 @@ class BitReader:
         if nbits > self._bitcount:
             # peek() zero-padded past the end; consuming that far is an error
             if nbits > self._bitcount + 8 * (self._nbytes - self._pos):
-                raise BitstreamError("consumed past end of bit stream")
+                raise BitstreamError(
+                    "consumed past end of bit stream", bit_offset=self.tell_bits()
+                )
             self._refill()
         self._bitbuf >>= nbits
         self._bitcount -= nbits
@@ -139,7 +142,8 @@ class BitReader:
             self._refill()
             if self._bitcount < nbits:
                 raise BitstreamError(
-                    f"requested {nbits} bits with only {self._bitcount} available"
+                    f"requested {nbits} bits with only {self._bitcount} available",
+                    bit_offset=self.tell_bits(),
                 )
         value = self._bitbuf & ((1 << nbits) - 1)
         self._bitbuf >>= nbits
@@ -155,12 +159,16 @@ class BitReader:
     def read_bytes(self, nbytes: int) -> bytes:
         """Read ``nbytes`` aligned bytes (the cursor must be byte-aligned)."""
         if self.tell_bits() & 7:
-            raise BitstreamError("read_bytes requires byte alignment")
+            raise BitstreamError(
+                "read_bytes requires byte alignment", bit_offset=self.tell_bits()
+            )
         # Flush buffered whole bytes back into a byte position.
         start = self.tell_bits() >> 3
         end = start + nbytes
         if end > self._nbytes:
-            raise BitstreamError("read_bytes past end of stream")
+            raise BitstreamError(
+                "read_bytes past end of stream", bit_offset=self.tell_bits()
+            )
         out = self._data[start:end]
         # Re-seat the cursor after the raw bytes.
         self._pos = end
@@ -171,7 +179,9 @@ class BitReader:
     def seek_bits(self, bit_offset: int) -> None:
         """Reposition the cursor at an absolute bit offset."""
         if bit_offset < 0 or bit_offset > self._total_bits:
-            raise BitstreamError(f"seek to {bit_offset} outside stream")
+            raise BitstreamError(
+                f"seek to {bit_offset} outside stream", bit_offset=bit_offset
+            )
         self._pos = bit_offset >> 3
         self._bitbuf = 0
         self._bitcount = 0

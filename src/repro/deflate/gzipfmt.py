@@ -69,33 +69,49 @@ def parse_gzip_header(data: bytes, offset: int = 0) -> tuple[int, int, int, byte
     Returns ``(payload_start, flags, mtime, filename, comment)``.
     """
     if len(data) - offset < 10:
-        raise GzipFormatError("truncated gzip header")
+        raise GzipFormatError(
+            "truncated gzip header", bit_offset=8 * offset, stage="container"
+        )
     if data[offset : offset + 2] != _GZIP_MAGIC:
         raise GzipFormatError(
-            f"bad gzip magic {data[offset:offset+2]!r} at offset {offset}"
+            f"bad gzip magic {data[offset:offset+2]!r} at offset {offset}",
+            bit_offset=8 * offset,
+            stage="container",
         )
     cm = data[offset + 2]
     if cm != _CM_DEFLATE:
-        raise GzipFormatError(f"unsupported compression method {cm}")
+        raise GzipFormatError(
+            f"unsupported compression method {cm}",
+            bit_offset=8 * (offset + 2), stage="container",
+        )
     flags = data[offset + 3]
     if flags & 0xE0:
-        raise GzipFormatError(f"reserved FLG bits set: {flags:#04x}")
+        raise GzipFormatError(
+            f"reserved FLG bits set: {flags:#04x}",
+            bit_offset=8 * (offset + 3), stage="container",
+        )
     mtime = struct.unpack_from("<I", data, offset + 4)[0]
     pos = offset + 10
 
     if flags & FEXTRA:
         if len(data) - pos < 2:
-            raise GzipFormatError("truncated FEXTRA length")
+            raise GzipFormatError(
+                "truncated FEXTRA length", bit_offset=8 * pos, stage="container"
+            )
         xlen = struct.unpack_from("<H", data, pos)[0]
         pos += 2 + xlen
         if pos > len(data):
-            raise GzipFormatError("truncated FEXTRA field")
+            raise GzipFormatError(
+                "truncated FEXTRA field", bit_offset=8 * pos, stage="container"
+            )
 
     filename = None
     if flags & FNAME:
         end = data.find(b"\x00", pos)
         if end < 0:
-            raise GzipFormatError("unterminated FNAME field")
+            raise GzipFormatError(
+                "unterminated FNAME field", bit_offset=8 * pos, stage="container"
+            )
         filename = bytes(data[pos:end])
         pos = end + 1
 
@@ -103,18 +119,24 @@ def parse_gzip_header(data: bytes, offset: int = 0) -> tuple[int, int, int, byte
     if flags & FCOMMENT:
         end = data.find(b"\x00", pos)
         if end < 0:
-            raise GzipFormatError("unterminated FCOMMENT field")
+            raise GzipFormatError(
+                "unterminated FCOMMENT field", bit_offset=8 * pos, stage="container"
+            )
         comment = bytes(data[pos:end])
         pos = end + 1
 
     if flags & FHCRC:
         if len(data) - pos < 2:
-            raise GzipFormatError("truncated FHCRC field")
+            raise GzipFormatError(
+                "truncated FHCRC field", bit_offset=8 * pos, stage="container"
+            )
         stored = struct.unpack_from("<H", data, pos)[0]
         computed = crc32(bytes(data[offset:pos])) & 0xFFFF
         if stored != computed:
             raise GzipFormatError(
-                f"header CRC mismatch: stored {stored:#06x}, computed {computed:#06x}"
+                f"header CRC mismatch: stored {stored:#06x}, computed {computed:#06x}",
+                bit_offset=8 * pos,
+                stage="container",
             )
         pos += 2
 
@@ -153,10 +175,16 @@ def member_payload(data: bytes, offset: int = 0) -> GzipMember:
     payload_start, flags, mtime, filename, comment = parse_gzip_header(data, offset)
     result = inflate(data, start_bit=8 * payload_start)
     if not result.final_seen:
-        raise GzipFormatError("member payload ended without a final block")
+        raise GzipFormatError(
+            "member payload ended without a final block",
+            bit_offset=result.end_bit,
+            stage="inflate",
+        )
     payload_end = (result.end_bit + 7) // 8
     if len(data) - payload_end < 8:
-        raise GzipFormatError("truncated gzip trailer")
+        raise GzipFormatError(
+            "truncated gzip trailer", bit_offset=8 * payload_end, stage="trailer"
+        )
     crc, isize = struct.unpack_from("<II", data, payload_end)
     return GzipMember(
         header_start=offset,
@@ -195,20 +223,30 @@ def gzip_unwrap(data: bytes, verify: bool = True) -> bytes:
         payload_start, *_ = parse_gzip_header(data, offset)
         result = inflate(data, start_bit=8 * payload_start)
         if not result.final_seen:
-            raise GzipFormatError("member payload ended without a final block")
+            raise GzipFormatError(
+            "member payload ended without a final block",
+            bit_offset=result.end_bit,
+            stage="inflate",
+        )
         payload_end = (result.end_bit + 7) // 8
         if len(data) - payload_end < 8:
-            raise GzipFormatError("truncated gzip trailer")
+            raise GzipFormatError(
+            "truncated gzip trailer", bit_offset=8 * payload_end, stage="trailer"
+        )
         crc, isize = struct.unpack_from("<II", data, payload_end)
         if verify:
             actual_crc = crc32(result.data)
             if actual_crc != crc:
                 raise GzipFormatError(
-                    f"CRC mismatch: stored {crc:#010x}, computed {actual_crc:#010x}"
+                    f"CRC mismatch: stored {crc:#010x}, computed {actual_crc:#010x}",
+                    bit_offset=8 * payload_end,
+                    stage="trailer",
                 )
             if isize != len(result.data) & 0xFFFFFFFF:
                 raise GzipFormatError(
-                    f"ISIZE mismatch: stored {isize}, actual {len(result.data)}"
+                    f"ISIZE mismatch: stored {isize}, actual {len(result.data)}",
+                    bit_offset=8 * (payload_end + 4),
+                    stage="trailer",
                 )
         out += result.data
         offset = payload_end + 8
@@ -239,21 +277,32 @@ def zlib_wrap(deflate_payload: bytes, uncompressed: bytes, level_hint: int = 6) 
 def zlib_unwrap(data: bytes, verify: bool = True) -> bytes:
     """Decompress a zlib stream with our own inflate."""
     if len(data) < 6:
-        raise GzipFormatError("truncated zlib stream")
+        raise GzipFormatError("truncated zlib stream", stage="container")
     cmf, flg = data[0], data[1]
     if cmf & 0x0F != _CM_DEFLATE:
-        raise GzipFormatError(f"unsupported zlib method {cmf & 0x0F}")
+        raise GzipFormatError(
+            f"unsupported zlib method {cmf & 0x0F}", stage="container"
+        )
     if (cmf * 256 + flg) % 31:
-        raise GzipFormatError("zlib header check failed")
+        raise GzipFormatError("zlib header check failed", stage="container")
     if flg & 0x20:
-        raise GzipFormatError("preset dictionaries are not supported")
+        raise GzipFormatError(
+            "preset dictionaries are not supported", stage="container"
+        )
     result = inflate(data, start_bit=16)
     if not result.final_seen:
-        raise GzipFormatError("zlib payload ended without a final block")
+        raise GzipFormatError(
+            "zlib payload ended without a final block",
+            bit_offset=result.end_bit, stage="inflate",
+        )
     end = (result.end_bit + 7) // 8
     if len(data) - end < 4:
-        raise GzipFormatError("truncated adler32 trailer")
+        raise GzipFormatError(
+            "truncated adler32 trailer", bit_offset=8 * end, stage="trailer"
+        )
     stored = struct.unpack_from(">I", data, end)[0]
     if verify and adler32(result.data) != stored:
-        raise GzipFormatError("adler32 mismatch")
+        raise GzipFormatError(
+            "adler32 mismatch", bit_offset=8 * end, stage="trailer"
+        )
     return result.data

@@ -101,11 +101,17 @@ def _read_dynamic_tables(reader: BitReader, strict: bool) -> tuple[HuffmanDecode
     hdist = reader.read(5) + 1
     hclen = reader.read(4) + 4
     if hlit > 286:
-        raise BlockHeaderError(f"HLIT {hlit} exceeds 286")
+        raise BlockHeaderError(
+            f"HLIT {hlit} exceeds 286",
+            bit_offset=reader.tell_bits(), stage="header",
+        )
     if hdist > 30:
         # Codes 30/31 can never appear in a valid stream; a header that
         # declares them is rejected (helps probing fail fast).
-        raise BlockHeaderError(f"HDIST {hdist} exceeds 30")
+        raise BlockHeaderError(
+            f"HDIST {hdist} exceeds 30",
+            bit_offset=reader.tell_bits(), stage="header",
+        )
 
     clen_lengths = [0] * 19
     for i in range(hclen):
@@ -126,23 +132,35 @@ def _read_dynamic_tables(reader: BitReader, strict: bool) -> tuple[HuffmanDecode
             i += 1
         elif sym == C.CLEN_COPY_PREV:
             if prev < 0:
-                raise BlockHeaderError("repeat code with no previous length")
+                raise BlockHeaderError(
+                    "repeat code with no previous length",
+                    bit_offset=reader.tell_bits(), stage="header",
+                )
             count = 3 + reader.read(2)
             if i + count > total:
-                raise BlockHeaderError("code length repeat overruns table")
+                raise BlockHeaderError(
+                    "code length repeat overruns table",
+                    bit_offset=reader.tell_bits(), stage="header",
+                )
             for _ in range(count):
                 lengths[i] = prev
                 i += 1
         elif sym == C.CLEN_ZERO_SHORT:
             count = 3 + reader.read(3)
             if i + count > total:
-                raise BlockHeaderError("zero-run overruns table")
+                raise BlockHeaderError(
+                    "zero-run overruns table",
+                    bit_offset=reader.tell_bits(), stage="header",
+                )
             i += count
             prev = 0
         else:  # CLEN_ZERO_LONG
             count = 11 + reader.read(7)
             if i + count > total:
-                raise BlockHeaderError("zero-run overruns table")
+                raise BlockHeaderError(
+                    "zero-run overruns table",
+                    bit_offset=reader.tell_bits(), stage="header",
+                )
             i += count
             prev = 0
 
@@ -150,7 +168,10 @@ def _read_dynamic_tables(reader: BitReader, strict: bool) -> tuple[HuffmanDecode
     dist_lengths = lengths[hlit:]
 
     if litlen_lengths[C.END_OF_BLOCK] == 0:
-        raise BlockHeaderError("litlen code lacks end-of-block symbol")
+        raise BlockHeaderError(
+            "litlen code lacks end-of-block symbol",
+            bit_offset=reader.tell_bits(), stage="header",
+        )
     litlen = HuffmanDecoder(litlen_lengths)  # complete required
 
     n_dist = sum(1 for l in dist_lengths if l)
@@ -172,19 +193,29 @@ def read_block_header(reader: BitReader, strict: bool = False) -> BlockHeader:
     """
     bfinal = bool(reader.read(1))
     if strict and bfinal:
-        raise BlockHeaderError("probe rejects BFINAL=1")
+        raise BlockHeaderError(
+            "probe rejects BFINAL=1", bit_offset=reader.tell_bits(), stage="header"
+        )
     btype = reader.read(2)
     if btype == C.BTYPE_RESERVED:
-        raise BlockHeaderError("reserved BTYPE 3")
+        raise BlockHeaderError(
+            "reserved BTYPE 3", bit_offset=reader.tell_bits(), stage="header"
+        )
 
     if btype == C.BTYPE_STORED:
         reader.align_to_byte()
         if reader.bits_remaining() < 32:
-            raise BitstreamError("truncated stored-block header")
+            raise BitstreamError(
+            "truncated stored-block header",
+            bit_offset=reader.tell_bits(), stage="header",
+        )
         length = reader.read(16)
         nlen = reader.read(16)
         if length ^ nlen != 0xFFFF:
-            raise BlockHeaderError("stored block LEN/NLEN mismatch")
+            raise BlockHeaderError(
+            "stored block LEN/NLEN mismatch",
+            bit_offset=reader.tell_bits(), stage="header",
+        )
         return BlockHeader(bfinal, btype, stored_len=length)
 
     if btype == C.BTYPE_FIXED:
@@ -258,7 +289,10 @@ def inflate(
             break
         if reader.bits_remaining() < 3:
             if strict:
-                raise BitstreamError("ran out of input at block header")
+                raise BitstreamError(
+                    "ran out of input at block header",
+                    bit_offset=reader.tell_bits(), stage="inflate",
+                )
             break
         final_probe_block = bool(strict and blocks and reader.peek(1) == 1)
         # The candidate block itself must not be final (a probe never
@@ -276,7 +310,10 @@ def inflate(
             chunk = reader.read_bytes(header.stored_len)
             if strict:
                 if not all(C.ASCII_MASK[b] for b in chunk):
-                    raise AsciiCheckError("stored block contains non-ASCII byte")
+                    raise AsciiCheckError(
+                        "stored block contains non-ASCII byte",
+                        bit_offset=reader.tell_bits(), stage="inflate",
+                    )
             out += chunk
             if tokens is not None:
                 for b in chunk:
@@ -290,10 +327,15 @@ def inflate(
         out_end = len(out)
         if strict:
             size = out_end - out_start
-            min_size = 0 if final_probe_block else C.PROBE_MIN_BLOCK
+            # An empty stored block is a sync-flush marker (pigz emits one
+            # per chunk): 32 bits of exact LEN=0/NLEN=0xFFFF structure, so
+            # it cannot be a chance match and is exempt from the minimum.
+            sync_flush = header.btype == C.BTYPE_STORED and header.stored_len == 0
+            min_size = 0 if (final_probe_block or sync_flush) else C.PROBE_MIN_BLOCK
             if size < min_size or size > C.PROBE_MAX_BLOCK:
                 raise BlockSizeError(
-                    f"block size {size} outside [{min_size}, {C.PROBE_MAX_BLOCK}]"
+                    f"block size {size} outside [{min_size}, {C.PROBE_MAX_BLOCK}]",
+                    bit_offset=block_start_bit, stage="inflate",
                 )
         blocks.append(
             BlockInfo(
@@ -360,55 +402,81 @@ def _decode_huffman_block(
         entry = lit_table[reader._bitbuf & ((1 << lit_bits) - 1)]
         nbits = entry & 15
         if nbits == 0:
-            raise HuffmanError("invalid litlen code")
+            raise HuffmanError(
+                "invalid litlen code", bit_offset=reader.tell_bits(), stage="inflate"
+            )
         if nbits > reader._bitcount:
-            raise BitstreamError("litlen code past end of stream")
+            raise BitstreamError(
+                "litlen code past end of stream",
+                bit_offset=reader.tell_bits(), stage="inflate",
+            )
         reader._bitbuf >>= nbits
         reader._bitcount -= nbits
         sym = entry >> 4
 
         if sym < 256:
             if ascii_mask is not None and not ascii_mask[sym]:
-                raise AsciiCheckError(f"non-ASCII literal {sym}")
+                raise AsciiCheckError(
+                    f"non-ASCII literal {sym}",
+                    bit_offset=reader.tell_bits(), stage="inflate",
+                )
             out.append(sym)
             if tokens is not None:
                 tokens.add_literal(sym)
             if strict and len(out) - block_start > max_block:
-                raise BlockSizeError("block exceeds 4 MiB probe limit")
+                raise BlockSizeError(
+                "block exceeds 4 MiB probe limit",
+                bit_offset=reader.tell_bits(), stage="inflate",
+            )
             continue
         if sym == C.END_OF_BLOCK:
             return
 
         # -- match length --
         if sym > C.MAX_USED_LITLEN:
-            raise HuffmanError(f"invalid length symbol {sym}")
+            raise HuffmanError(
+                f"invalid length symbol {sym}",
+                bit_offset=reader.tell_bits(), stage="inflate",
+            )
         idx = sym - 257
         extra = lextra[idx]
         length = lbase[idx] + (reader.read(extra) if extra else 0)
 
         # -- distance --
         if dist_table is None:
-            raise BackrefError("match in block that declared no distance codes")
+            raise BackrefError(
+                "match in block that declared no distance codes",
+                bit_offset=reader.tell_bits(), stage="inflate",
+            )
         if reader._bitcount < dist_bits:
             reader._refill()
         entry = dist_table[reader._bitbuf & ((1 << dist_bits) - 1)]
         nbits = entry & 15
         if nbits == 0:
-            raise HuffmanError("invalid distance code")
+            raise HuffmanError(
+                "invalid distance code", bit_offset=reader.tell_bits(), stage="inflate"
+            )
         if nbits > reader._bitcount:
-            raise BitstreamError("distance code past end of stream")
+            raise BitstreamError(
+                "distance code past end of stream",
+                bit_offset=reader.tell_bits(), stage="inflate",
+            )
         reader._bitbuf >>= nbits
         reader._bitcount -= nbits
         dsym = entry >> 4
         if dsym > C.MAX_USED_DIST:
-            raise HuffmanError(f"invalid distance symbol {dsym}")
+            raise HuffmanError(
+                f"invalid distance symbol {dsym}",
+                bit_offset=reader.tell_bits(), stage="inflate",
+            )
         dex = dextra[dsym]
         distance = dbase[dsym] + (reader.read(dex) if dex else 0)
 
         avail = len(out) + history_bonus
         if distance > avail:
             raise BackrefError(
-                f"distance {distance} exceeds available history {avail}"
+                f"distance {distance} exceeds available history {avail}",
+                bit_offset=reader.tell_bits(), stage="inflate",
             )
         if tokens is not None:
             tokens.add_match(distance, length)
@@ -431,7 +499,10 @@ def _decode_huffman_block(
             for _ in range(remaining):
                 out.append(out[len(out) - distance])
         if strict and len(out) - block_start > max_block:
-            raise BlockSizeError("block exceeds 4 MiB probe limit")
+            raise BlockSizeError(
+                "block exceeds 4 MiB probe limit",
+                bit_offset=reader.tell_bits(), stage="inflate",
+            )
 
 
 def inflate_bytes(data, start_bit: int = 0, window: bytes = b"") -> bytes:

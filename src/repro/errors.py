@@ -6,13 +6,132 @@ DEFLATE-specific errors mirror the failure classes used by the block-start
 probing logic (Appendix X-A of the paper): a probe treats *any*
 :class:`DeflateError` raised while decoding a candidate block as "this bit
 offset is not a block start".
+
+Structured context
+------------------
+
+Forensic work (Section VI-B) needs more than a message: when a 40 GB
+FASTQ archive fails to decompress, *where* it failed is the useful
+fact.  Every :class:`ReproError` therefore carries three optional
+context fields, populated at the raise site whenever the information is
+available:
+
+* ``bit_offset`` — absolute bit position in the compressed stream at
+  (or near) which the failure occurred;
+* ``chunk_index`` — which parallel chunk was being decoded (two-pass
+  decompressor only);
+* ``stage`` — which pipeline stage raised (``header``, ``inflate``,
+  ``marker_inflate``, ``sync``, ``container``, ``trailer``, ``plan``,
+  ``pass1``, ...).
+
+The fields survive pickling, so errors captured in worker processes by
+:meth:`repro.parallel.executor.Executor.map_outcomes` arrive intact.
+Use :func:`annotate` to fill in fields an outer layer knows but the
+raise site did not (it never overwrites existing context).
 """
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "DeflateError",
+    "BitstreamError",
+    "HuffmanError",
+    "BlockHeaderError",
+    "BackrefError",
+    "AsciiCheckError",
+    "BlockSizeError",
+    "GzipFormatError",
+    "SyncError",
+    "RandomAccessError",
+    "annotate",
+]
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by :mod:`repro`."""
+    """Base class for all errors raised by :mod:`repro`.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the failure.
+    bit_offset / chunk_index / stage:
+        Optional structured context (see module docstring).  Keyword
+        only, so every historical ``ReproError("msg")`` call site keeps
+        working unchanged.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        bit_offset: int | None = None,
+        chunk_index: int | None = None,
+        stage: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.message = message
+        self.bit_offset = bit_offset
+        self.chunk_index = chunk_index
+        self.stage = stage
+
+    def context(self) -> dict:
+        """The populated context fields as a plain dict (for reports)."""
+        out: dict = {}
+        if self.stage is not None:
+            out["stage"] = self.stage
+        if self.chunk_index is not None:
+            out["chunk_index"] = self.chunk_index
+        if self.bit_offset is not None:
+            out["bit_offset"] = self.bit_offset
+        return out
+
+    def __str__(self) -> str:
+        parts = []
+        if self.stage is not None:
+            parts.append(f"stage={self.stage}")
+        if self.chunk_index is not None:
+            parts.append(f"chunk={self.chunk_index}")
+        if self.bit_offset is not None:
+            parts.append(
+                f"bit {self.bit_offset}"
+                f" (byte {self.bit_offset >> 3}+{self.bit_offset & 7})"
+            )
+        if not parts:
+            return self.message
+        return f"{self.message} [{', '.join(parts)}]"
+
+    def __reduce__(self):
+        # Keyword-only context would be lost by the default exception
+        # pickling (which replays ``cls(*args)``); carry it as state so
+        # errors cross process boundaries intact.
+        return (
+            type(self),
+            (self.message,),
+            {
+                "bit_offset": self.bit_offset,
+                "chunk_index": self.chunk_index,
+                "stage": self.stage,
+            },
+        )
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+
+def annotate(err: BaseException, **context) -> BaseException:
+    """Fill missing context fields on a :class:`ReproError` in place.
+
+    Only ``None`` fields are filled — the raise site's own context (the
+    most precise available) always wins.  Non-:class:`ReproError`
+    exceptions are returned untouched, so callers can annotate
+    indiscriminately in ``except`` blocks.
+    """
+    if isinstance(err, ReproError):
+        for key, value in context.items():
+            if getattr(err, key, None) is None:
+                setattr(err, key, value)
+    return err
 
 
 class DeflateError(ReproError):

@@ -2,6 +2,7 @@
 
 from repro.parallel.executor import (
     Executor,
+    Outcome,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
@@ -10,6 +11,7 @@ from repro.parallel.executor import (
 
 __all__ = [
     "Executor",
+    "Outcome",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",

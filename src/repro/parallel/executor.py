@@ -19,14 +19,47 @@ from __future__ import annotations
 import os
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
 
 __all__ = [
     "Executor",
+    "Outcome",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
     "make_executor",
 ]
+
+
+@dataclass
+class Outcome:
+    """Result of one item of a fault-tolerant map.
+
+    Exactly one of ``value`` / ``error`` is meaningful: ``error`` is
+    ``None`` for a successful item and the raised exception otherwise.
+    """
+
+    index: int
+    value: object = None
+    error: BaseException | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _outcome_call(packed):
+    """Run one item, capturing any exception instead of raising.
+
+    Module-level so :class:`ProcessExecutor` can pickle it; the captured
+    exception travels back pickled (``ReproError`` preserves its
+    structured context across that boundary via ``__reduce__``).
+    """
+    fn, item = packed
+    try:
+        return True, fn(item)
+    except Exception as exc:
+        return False, exc
 
 
 class Executor(ABC):
@@ -35,6 +68,20 @@ class Executor(ABC):
     @abstractmethod
     def map(self, fn, items: list) -> list:
         """Apply ``fn`` to every item, returning results in input order."""
+
+    def map_outcomes(self, fn, items: list) -> list[Outcome]:
+        """Apply ``fn`` to every item, capturing per-item exceptions.
+
+        Unlike :meth:`map`, one failing item does not abort the pool or
+        discard the other items' finished work: every item produces an
+        :class:`Outcome`, in input order.  This is the engine hook for
+        graceful degradation (``pugz_decompress(..., on_error="recover")``).
+        """
+        packed = self.map(_outcome_call, [(fn, item) for item in items])
+        return [
+            Outcome(index=i, value=v) if ok else Outcome(index=i, error=v)
+            for i, (ok, v) in enumerate(packed)
+        ]
 
     @property
     @abstractmethod

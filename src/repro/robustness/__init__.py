@@ -1,0 +1,64 @@
+"""Fault-injection harness for the decompression engine.
+
+The paper motivates its machinery with forensics on damaged compressed
+FASTQ archives (Section VI-B); this package stress-tests that story
+systematically instead of anecdotally:
+
+* :mod:`repro.robustness.injectors` — deterministic, seeded fault
+  injectors (bit flips, byte corruption, truncation, trailer tampering,
+  header mangling, member splicing);
+* :mod:`repro.robustness.campaign` — a campaign runner that applies a
+  grid of faults to generated corpora, runs the engine in both
+  ``raise`` and ``recover`` modes, and classifies every outcome.
+
+Outcome taxonomy (see docs/ROBUSTNESS.md):
+
+``intact``
+    The fault landed somewhere harmless (e.g. a gzip header comment
+    bit); output is byte-identical to the original.
+``clean-error``
+    The engine raised a structured :class:`~repro.errors.ReproError`.
+``salvaged``
+    Recover mode returned partial output with holes/placeholder bytes
+    and/or recorded verification failures in the report.
+``silent-corruption``
+    Output differs from the original but nothing raised and the report
+    claims completeness — only possible with ``verify=False`` (the
+    campaign runs both ways to measure exactly this).
+``crash``
+    Any non-:class:`~repro.errors.ReproError` exception: always a bug.
+"""
+
+from repro.robustness.campaign import (
+    CampaignReport,
+    CaseResult,
+    default_corpora,
+    run_campaign,
+)
+from repro.robustness.injectors import (
+    FaultCase,
+    INJECTOR_NAMES,
+    corrupt_bytes,
+    flip_bit,
+    inject,
+    mangle_header,
+    splice_members,
+    tamper_trailer,
+    truncate,
+)
+
+__all__ = [
+    "FaultCase",
+    "INJECTOR_NAMES",
+    "flip_bit",
+    "corrupt_bytes",
+    "truncate",
+    "tamper_trailer",
+    "mangle_header",
+    "splice_members",
+    "inject",
+    "run_campaign",
+    "CampaignReport",
+    "CaseResult",
+    "default_corpora",
+]

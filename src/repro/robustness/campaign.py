@@ -1,0 +1,287 @@
+"""Seeded fault-injection campaigns against the decompression engine.
+
+A campaign is a grid of (corpus × injector × seed) cases.  Every case:
+
+1. generates the faulted stream deterministically
+   (:func:`repro.robustness.injectors.inject`);
+2. runs ``pugz_decompress`` in ``raise`` mode and classifies what
+   happened against the original plaintext;
+3. on a clean error, retries in ``recover`` mode and measures what was
+   salvaged;
+4. when the stream decoded, additionally runs trailer verification to
+   measure whether ``verify=True`` would have caught the damage.
+
+The golden invariant — enforced by ``tests/robustness`` and ``make
+fuzz`` — is that **no case may crash**: every failure surfaces as a
+structured :class:`~repro.errors.ReproError`, never an ``IndexError``
+from three layers down.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import random
+import time
+import warnings
+from dataclasses import dataclass, field
+
+from repro.core.pigz import pigz_compress
+from repro.core.pugz import pugz_decompress
+from repro.errors import ReproError
+from repro.robustness.injectors import INJECTOR_NAMES, FaultCase, inject
+
+__all__ = ["CaseResult", "CampaignReport", "default_corpora", "build_cases", "run_campaign"]
+
+OUTCOMES = ("intact", "clean-error", "salvaged", "silent-corruption", "crash")
+
+
+def _random_dna(rng: random.Random, n: int) -> bytes:
+    return bytes(rng.choice(b"ACGT") for _ in range(n))
+
+
+def _fastq(rng: random.Random, reads: int, read_len: int = 80) -> bytes:
+    out = []
+    for i in range(reads):
+        seq = _random_dna(rng, read_len).decode()
+        qual = "".join(chr(33 + rng.randrange(40)) for _ in range(read_len))
+        out.append(f"@read{i}/1\n{seq}\n+\n{qual}\n")
+    return "".join(out).encode()
+
+
+def default_corpora(seed: int = 20190521) -> dict[str, tuple[bytes, bytes]]:
+    """Small deterministic corpora: ``name -> (plaintext, gzip bytes)``.
+
+    Chosen to cover the engine's distinct code paths: a single huge
+    DEFLATE block (no resync targets), a pigz-style multi-block stream
+    (chunkable, resyncable), highly repetitive text (long back-reference
+    chains), a near-empty file, and a multi-member file.
+    """
+    rng = random.Random(seed)
+    dna = _fastq(rng, 60)  # ~10 KiB, gzip -> one DEFLATE block
+    fastq = _fastq(rng, 150)  # ~26 KiB, pigz-chunked -> many blocks
+    text = (b"The quick brown fox jumps over the lazy dog. " * 200)[:8192]
+    tiny = b"ACGTACGTAC\n"
+    member = _fastq(rng, 30)
+    return {
+        "dna-1block": (dna, gzip.compress(dna, 6, mtime=0)),
+        "fastq-multiblock": (fastq, pigz_compress(fastq, level=6, chunk_size=4096)),
+        "text-repetitive": (text, gzip.compress(text, 9, mtime=0)),
+        "tiny": (tiny, gzip.compress(tiny, 6, mtime=0)),
+        "two-members": (
+            member + member,
+            gzip.compress(member, 6, mtime=0) + gzip.compress(member, 6, mtime=0),
+        ),
+    }
+
+
+@dataclass
+class CaseResult:
+    """Classification of one fault case."""
+
+    corpus: str
+    injector: str
+    seed: int
+    outcome: str
+    #: Exception class name for clean-error / crash outcomes.
+    error_type: str | None = None
+    #: Structured context of the ReproError (bit_offset / chunk / stage).
+    error_context: dict = field(default_factory=dict)
+    #: Output bytes returned (recover mode for salvaged cases).
+    recovered_bytes: int = 0
+    #: Exact-match prefix length against the original plaintext.
+    exact_prefix: int = 0
+    holes: int = 0
+    unresolved_markers: int = 0
+    verify_failures: int = 0
+    #: For cases whose stream decoded: did ``verify=True`` raise?
+    #: ``None`` when verification was not reached (stream didn't decode).
+    verify_caught: bool | None = None
+    elapsed: float = 0.0
+
+    @property
+    def case_id(self) -> str:
+        return f"{self.corpus}/{self.injector}/{self.seed}"
+
+    def to_dict(self) -> dict:
+        return {
+            "case_id": self.case_id,
+            "corpus": self.corpus,
+            "injector": self.injector,
+            "seed": self.seed,
+            "outcome": self.outcome,
+            "error_type": self.error_type,
+            "error_context": self.error_context,
+            "recovered_bytes": self.recovered_bytes,
+            "exact_prefix": self.exact_prefix,
+            "holes": self.holes,
+            "unresolved_markers": self.unresolved_markers,
+            "verify_failures": self.verify_failures,
+            "verify_caught": self.verify_caught,
+            "elapsed": round(self.elapsed, 4),
+        }
+
+
+@dataclass
+class CampaignReport:
+    """Machine-readable result of a whole campaign."""
+
+    cases: list[CaseResult] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def counts(self) -> dict[str, int]:
+        out = {name: 0 for name in OUTCOMES}
+        for c in self.cases:
+            out[c.outcome] += 1
+        return out
+
+    @property
+    def crashes(self) -> list[CaseResult]:
+        return [c for c in self.cases if c.outcome == "crash"]
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(
+            {
+                "n_cases": len(self.cases),
+                "counts": self.counts,
+                "elapsed": round(self.elapsed, 3),
+                "cases": [c.to_dict() for c in self.cases],
+            },
+            indent=indent,
+        )
+
+    def summary(self) -> str:
+        counts = self.counts
+        parts = [f"{len(self.cases)} cases in {self.elapsed:.1f}s"]
+        parts += [f"{name}={counts[name]}" for name in OUTCOMES if counts[name]]
+        return "  ".join(parts)
+
+
+def _common_prefix_len(a: bytes, b: bytes) -> int:
+    n = 0
+    limit = min(len(a), len(b))
+    while n < limit and a[n] == b[n]:
+        n += 1
+    return n
+
+
+def build_cases(
+    corpus_names,
+    injectors=INJECTOR_NAMES,
+    n_seeds: int = 9,
+    base_seed: int = 1000,
+) -> list[FaultCase]:
+    """The full (corpus × injector × seed) grid, deterministically."""
+    cases = []
+    for corpus in corpus_names:
+        for injector in injectors:
+            for k in range(n_seeds):
+                cases.append(FaultCase(corpus, injector, base_seed + k))
+    return cases
+
+
+def run_case(
+    case: FaultCase,
+    plain: bytes,
+    gz: bytes,
+    *,
+    n_chunks: int = 2,
+    max_resync_search_bits: int | None = 20000,
+) -> CaseResult:
+    """Inject one fault and classify the engine's behaviour on it."""
+    t0 = time.perf_counter()
+    faulted = inject(case, gz)
+    result = CaseResult(case.corpus, case.injector, case.seed, outcome="crash")
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result.outcome = _classify(result, faulted, plain, n_chunks, max_resync_search_bits)
+    except ReproError as exc:  # pragma: no cover - classified inside
+        result.outcome = "clean-error"
+        result.error_type = type(exc).__name__
+        result.error_context = exc.context()
+    except Exception as exc:
+        result.outcome = "crash"
+        result.error_type = type(exc).__name__
+        result.error_context = {"message": str(exc)[:200]}
+    result.elapsed = time.perf_counter() - t0
+    return result
+
+
+def _classify(result, faulted, plain, n_chunks, max_resync_search_bits) -> str:
+    try:
+        out = pugz_decompress(faulted, n_chunks=n_chunks)
+    except ReproError as exc:
+        result.error_type = type(exc).__name__
+        result.error_context = exc.context()
+        return _try_recover(result, faulted, plain, n_chunks, max_resync_search_bits)
+    # The stream decoded: measure whether verification would object.
+    result.recovered_bytes = len(out)
+    result.exact_prefix = _common_prefix_len(out, plain)
+    try:
+        pugz_decompress(faulted, n_chunks=n_chunks, verify=True)
+        result.verify_caught = False
+    except ReproError:
+        result.verify_caught = True
+    if out == plain:
+        return "intact"
+    return "silent-corruption"
+
+
+def _try_recover(result, faulted, plain, n_chunks, max_resync_search_bits) -> str:
+    try:
+        out, rep = pugz_decompress(
+            faulted,
+            n_chunks=n_chunks,
+            on_error="recover",
+            verify=True,
+            return_report=True,
+            allow_trailing_garbage=True,
+            max_resync_search_bits=max_resync_search_bits,
+        )
+    except ReproError:
+        return "clean-error"
+    result.recovered_bytes = len(out)
+    result.exact_prefix = _common_prefix_len(out, plain)
+    result.holes = len(rep.holes)
+    result.unresolved_markers = rep.unresolved_markers
+    result.verify_failures = len(rep.verify_failures)
+    return "salvaged"
+
+
+def run_campaign(
+    corpora: dict[str, tuple[bytes, bytes]] | None = None,
+    injectors=INJECTOR_NAMES,
+    n_seeds: int = 9,
+    base_seed: int = 1000,
+    *,
+    n_chunks: int = 2,
+    max_resync_search_bits: int | None = 20000,
+    progress=None,
+) -> CampaignReport:
+    """Run the full fault grid and classify every case.
+
+    ``progress`` (optional) is called with each finished
+    :class:`CaseResult` — the CLI uses it for live output.  With the
+    defaults the campaign is 5 corpora × 6 injectors × 9 seeds = 270
+    cases, deterministic end to end.
+    """
+    if corpora is None:
+        corpora = default_corpora()
+    t0 = time.perf_counter()
+    report = CampaignReport()
+    for case in build_cases(corpora, injectors, n_seeds, base_seed):
+        plain, gz = corpora[case.corpus]
+        result = run_case(
+            case,
+            plain,
+            gz,
+            n_chunks=n_chunks,
+            max_resync_search_bits=max_resync_search_bits,
+        )
+        report.cases.append(result)
+        if progress is not None:
+            progress(result)
+    report.elapsed = time.perf_counter() - t0
+    return report

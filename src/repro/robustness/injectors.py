@@ -1,0 +1,135 @@
+"""Deterministic fault injectors for gzip byte streams.
+
+Every injector takes ``(data, rng)`` where ``rng`` is a
+``random.Random`` seeded by the campaign — the same seed always
+produces the same faulted stream, so failing cases replay exactly.
+Injectors never mutate their input; they return a new ``bytes``.
+
+The injectors model the damage classes seen in the wild:
+
+========================  ====================================================
+``flip_bit``              single-event upset (disk/RAM/transfer bit rot)
+``corrupt_bytes``         a burst error overwriting a short byte run
+``truncate``              an interrupted download / torn write
+``tamper_trailer``        a wrong CRC32/ISIZE (bad re-concatenation, bit rot
+                          in the 8 trailer bytes specifically)
+``mangle_header``         damage inside the 10-byte gzip header / FLG fields
+``splice_members``        two files cat'd together with garbage in between
+                          (tar-extraction accidents, log rotation bugs)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = [
+    "FaultCase",
+    "INJECTOR_NAMES",
+    "flip_bit",
+    "corrupt_bytes",
+    "truncate",
+    "tamper_trailer",
+    "mangle_header",
+    "splice_members",
+    "inject",
+]
+
+
+def flip_bit(data: bytes, rng: random.Random) -> bytes:
+    """Flip one random bit anywhere in the stream."""
+    if not data:
+        return data
+    pos = rng.randrange(len(data))
+    out = bytearray(data)
+    out[pos] ^= 1 << rng.randrange(8)
+    return bytes(out)
+
+
+def corrupt_bytes(data: bytes, rng: random.Random, max_run: int = 16) -> bytes:
+    """Overwrite a short run of bytes with random garbage."""
+    if not data:
+        return data
+    run = rng.randint(1, max_run)
+    pos = rng.randrange(len(data))
+    out = bytearray(data)
+    for i in range(pos, min(pos + run, len(out))):
+        out[i] = rng.randrange(256)
+    return bytes(out)
+
+
+def truncate(data: bytes, rng: random.Random) -> bytes:
+    """Cut the stream at a random point (possibly to nothing)."""
+    if not data:
+        return data
+    return data[: rng.randrange(len(data))]
+
+
+def tamper_trailer(data: bytes, rng: random.Random) -> bytes:
+    """Corrupt one byte of the 8-byte CRC32/ISIZE trailer.
+
+    XOR with a non-zero value guarantees the trailer actually changes,
+    so ``verify=True`` must always catch this fault.
+    """
+    if len(data) < 8:
+        return data
+    pos = len(data) - 8 + rng.randrange(8)
+    out = bytearray(data)
+    out[pos] ^= rng.randint(1, 255)
+    return bytes(out)
+
+
+def mangle_header(data: bytes, rng: random.Random) -> bytes:
+    """Corrupt one byte inside the 10-byte fixed gzip header."""
+    if not data:
+        return data
+    pos = rng.randrange(min(10, len(data)))
+    out = bytearray(data)
+    out[pos] ^= rng.randint(1, 255)
+    return bytes(out)
+
+
+def splice_members(data: bytes, rng: random.Random, max_garbage: int = 32) -> bytes:
+    """Concatenate the stream with itself, with garbage at the joint.
+
+    Models a multi-member file assembled by a buggy tool: the second
+    member's header is preceded by 0..``max_garbage`` junk bytes, so a
+    reader either stops at the joint (trailing-garbage handling) or
+    errors there with a precise offset.
+    """
+    garbage = bytes(rng.randrange(256) for _ in range(rng.randrange(max_garbage + 1)))
+    return data + garbage + data
+
+
+INJECTORS = {
+    "flip_bit": flip_bit,
+    "corrupt_bytes": corrupt_bytes,
+    "truncate": truncate,
+    "tamper_trailer": tamper_trailer,
+    "mangle_header": mangle_header,
+    "splice_members": splice_members,
+}
+
+INJECTOR_NAMES = tuple(INJECTORS)
+
+
+@dataclass(frozen=True)
+class FaultCase:
+    """One (corpus, injector, seed) grid point of a campaign."""
+
+    corpus: str
+    injector: str
+    seed: int
+
+    @property
+    def case_id(self) -> str:
+        return f"{self.corpus}/{self.injector}/{self.seed}"
+
+
+def inject(case: FaultCase, data: bytes) -> bytes:
+    """Apply the case's injector to ``data``, deterministically."""
+    fn = INJECTORS.get(case.injector)
+    if fn is None:
+        raise ValueError(f"unknown injector {case.injector!r}")
+    return fn(data, random.Random(case.seed))

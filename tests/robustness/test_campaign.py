@@ -1,0 +1,94 @@
+"""Fault-injection campaigns: the engine never crashes, only errors.
+
+The quick class runs in tier 1; the full 270-case grid is marked
+``robustness`` and runs via ``make fuzz``.
+"""
+
+import json
+
+import pytest
+
+from repro.robustness import default_corpora, run_campaign
+from repro.robustness.campaign import OUTCOMES, build_cases
+
+
+class TestQuickCampaign:
+    """A 2-corpus, 1-seed slice — fast enough for tier 1."""
+
+    @pytest.fixture(scope="class")
+    def quick_report(self):
+        corpora = default_corpora()
+        small = {k: corpora[k] for k in ("tiny", "text-repetitive")}
+        return run_campaign(small, n_seeds=2, max_resync_search_bits=4000)
+
+    def test_no_crashes(self, quick_report):
+        assert quick_report.crashes == []
+
+    def test_outcomes_are_classified(self, quick_report):
+        assert quick_report.cases
+        for case in quick_report.cases:
+            assert case.outcome in OUTCOMES
+
+    def test_json_round_trips(self, quick_report):
+        doc = json.loads(quick_report.to_json())
+        assert doc["n_cases"] == len(quick_report.cases)
+        assert sum(doc["counts"].values()) == doc["n_cases"]
+        assert len(doc["cases"]) == doc["n_cases"]
+
+    def test_summary_mentions_case_count(self, quick_report):
+        assert str(len(quick_report.cases)) in quick_report.summary()
+
+
+def test_build_cases_grid_is_deterministic():
+    a = build_cases(["x", "y"], n_seeds=3)
+    b = build_cases(["x", "y"], n_seeds=3)
+    assert a == b
+    assert len(a) == 2 * 6 * 3
+
+
+def test_default_corpora_decompress_cleanly():
+    import gzip
+
+    for name, (plain, gz) in default_corpora().items():
+        assert gzip.decompress(gz) == plain, name
+
+
+@pytest.mark.robustness
+class TestFullCampaign:
+    """The acceptance-criteria campaign: >= 200 seeded cases."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_campaign()  # 5 corpora x 6 injectors x 9 seeds = 270
+
+    def test_at_least_200_cases(self, report):
+        assert len(report.cases) >= 200
+
+    def test_zero_crashes(self, report):
+        crashes = [(c.case_id, c.error_type, c.error_context) for c in report.crashes]
+        assert crashes == []
+
+    def test_every_trailer_tamper_caught_by_verify(self, report):
+        for case in report.cases:
+            if case.injector != "tamper_trailer":
+                continue
+            if case.outcome in ("intact", "silent-corruption"):
+                assert case.verify_caught, case.case_id
+
+    def test_silent_corruption_always_caught_by_verify(self, report):
+        for case in report.cases:
+            if case.outcome == "silent-corruption":
+                assert case.verify_caught, case.case_id
+
+    def test_salvaged_cases_returned_output(self, report):
+        salvaged = [c for c in report.cases if c.outcome == "salvaged"]
+        assert salvaged, "campaign produced no salvage cases at all"
+        for case in salvaged:
+            assert case.recovered_bytes > 0, case.case_id
+
+    def test_clean_errors_carry_context(self, report):
+        contextful = 0
+        for case in report.cases:
+            if case.outcome == "clean-error" and case.error_context:
+                contextful += 1
+        assert contextful > 0

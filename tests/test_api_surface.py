@@ -24,6 +24,7 @@ PACKAGES = [
     "repro.index",
     "repro.io",
     "repro.pipeline",
+    "repro.robustness",
 ]
 
 

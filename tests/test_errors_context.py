@@ -1,0 +1,77 @@
+"""Structured error context: every ReproError says where it happened."""
+
+import pickle
+
+import pytest
+
+from repro.errors import (
+    BackrefError,
+    BitstreamError,
+    GzipFormatError,
+    ReproError,
+    SyncError,
+    annotate,
+)
+
+
+class TestContextFields:
+    def test_defaults_are_none(self):
+        err = ReproError("boom")
+        assert err.bit_offset is None
+        assert err.chunk_index is None
+        assert err.stage is None
+        assert err.context() == {}
+
+    def test_populated_context(self):
+        err = GzipFormatError("bad magic", bit_offset=80, chunk_index=2, stage="container")
+        assert err.context() == {"bit_offset": 80, "chunk_index": 2, "stage": "container"}
+
+    def test_str_leads_with_message(self):
+        err = BackrefError("distance 5000 exceeds history", bit_offset=123, stage="inflate")
+        text = str(err)
+        assert text.startswith("distance 5000 exceeds history")
+        assert "bit 123" in text
+        assert "stage=inflate" in text
+
+    def test_str_reports_byte_and_bit_split(self):
+        err = BitstreamError("oops", bit_offset=83)
+        assert "byte 10+3" in str(err)
+
+    def test_match_compatibility(self):
+        # pytest.raises(..., match=...) greps str(); the original
+        # message must stay findable with context attached.
+        with pytest.raises(GzipFormatError, match="CRC"):
+            raise GzipFormatError("CRC mismatch: 1 != 2", bit_offset=8, stage="trailer")
+
+
+class TestAnnotate:
+    def test_fills_missing_fields(self):
+        err = SyncError("nope", bit_offset=9)
+        annotate(err, chunk_index=3, stage="sync")
+        assert err.bit_offset == 9
+        assert err.chunk_index == 3
+        assert err.stage == "sync"
+
+    def test_never_overwrites(self):
+        err = SyncError("nope", bit_offset=9, stage="sync")
+        annotate(err, bit_offset=999, stage="other")
+        assert err.bit_offset == 9
+        assert err.stage == "sync"
+
+    def test_noop_on_foreign_exception(self):
+        err = ValueError("not ours")
+        annotate(err, bit_offset=1)  # must not raise
+        assert not hasattr(err, "bit_offset")
+
+
+class TestPickling:
+    @pytest.mark.parametrize("cls", [ReproError, BackrefError, GzipFormatError])
+    def test_round_trip_preserves_context(self, cls):
+        err = cls("broken", bit_offset=4242, chunk_index=1, stage="pass1")
+        clone = pickle.loads(pickle.dumps(err))
+        assert type(clone) is cls
+        assert clone.message == "broken"
+        assert clone.bit_offset == 4242
+        assert clone.chunk_index == 1
+        assert clone.stage == "pass1"
+        assert str(clone) == str(err)

@@ -62,3 +62,42 @@ class TestFactory:
     def test_unknown(self):
         with pytest.raises(ValueError):
             make_executor("gpu")
+
+
+def boom_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x * 10
+
+
+def raise_repro(x):
+    from repro.errors import BackrefError
+
+    raise BackrefError("too far", bit_offset=x, chunk_index=7, stage="pass1")
+
+
+class TestMapOutcomes:
+    @pytest.mark.parametrize("kind", ["serial", "thread", "process"])
+    def test_captures_per_item_errors(self, kind):
+        outcomes = make_executor(kind, 2).map_outcomes(boom_on_three, [1, 3, 5])
+        assert [o.index for o in outcomes] == [0, 1, 2]
+        assert outcomes[0].ok and outcomes[0].value == 10
+        assert not outcomes[1].ok
+        assert isinstance(outcomes[1].error, ValueError)
+        assert outcomes[2].ok and outcomes[2].value == 50
+
+    def test_all_ok(self):
+        outcomes = SerialExecutor().map_outcomes(square, [2, 4])
+        assert all(o.ok for o in outcomes)
+        assert [o.value for o in outcomes] == [4, 16]
+
+    def test_empty(self):
+        assert SerialExecutor().map_outcomes(square, []) == []
+
+    def test_repro_error_context_survives_process_boundary(self):
+        outcomes = ProcessExecutor(2).map_outcomes(raise_repro, [11, 22])
+        for o, bit in zip(outcomes, [11, 22]):
+            assert not o.ok
+            assert o.error.bit_offset == bit
+            assert o.error.chunk_index == 7
+            assert o.error.stage == "pass1"
