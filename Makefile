@@ -1,6 +1,6 @@
 # Convenience targets (plain pytest works too; see CONTRIBUTING.md).
 
-.PHONY: install test fuzz check bench bench-report examples all clean
+.PHONY: install test fuzz lint check bench bench-report examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -14,7 +14,13 @@ test:
 fuzz:
 	pytest tests/robustness -q -m robustness
 
-check: test fuzz
+# AST-based invariant checker (REP001-REP008, docs/STATIC_ANALYSIS.md).
+# Exit 0 clean / 1 findings / 2 internal error; the shipped baseline is
+# empty, so any finding is a regression.
+lint:
+	PYTHONPATH=src python -m repro lint src/repro --baseline lint-baseline.json
+
+check: test fuzz lint
 
 bench:
 	pytest benchmarks/ --benchmark-only

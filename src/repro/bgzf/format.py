@@ -85,7 +85,7 @@ def _block_bytes(chunk: bytes, level: int) -> bytes:
         payload = deflate_compress(chunk, 0)
         bsize = 12 + 6 + len(payload) + 8
         if bsize > 65536:
-            raise GzipFormatError("chunk does not fit a BGZF block even stored")
+            raise GzipFormatError("chunk does not fit a BGZF block even stored", stage="bgzf")
     header = (
         b"\x1f\x8b\x08\x04"          # magic, deflate, FEXTRA
         + b"\x00\x00\x00\x00"        # mtime
@@ -112,7 +112,7 @@ def bgzf_compress(data: bytes, level: int = 6, block_input: int = MAX_BLOCK_INPU
 def _parse_bsize(data: bytes, offset: int) -> int:
     """Read the BC extra field of the member at ``offset``; returns csize."""
     if data[offset : offset + 4] != b"\x1f\x8b\x08\x04":
-        raise GzipFormatError(f"not a BGZF member at offset {offset}")
+        raise GzipFormatError(f"not a BGZF member at offset {offset}", stage="bgzf")
     xlen = struct.unpack_from("<H", data, offset + 10)[0]
     pos = offset + 12
     end = pos + xlen
@@ -121,7 +121,7 @@ def _parse_bsize(data: bytes, offset: int) -> int:
         if si1 == 0x42 and si2 == 0x43 and slen == 2:
             return struct.unpack_from("<H", data, pos + 4)[0] + 1
         pos += 4 + slen
-    raise GzipFormatError(f"BGZF member at {offset} lacks the BC field")
+    raise GzipFormatError(f"BGZF member at {offset} lacks the BC field", stage="bgzf")
 
 
 def scan_blocks(data: bytes) -> list[BgzfBlock]:
@@ -136,12 +136,12 @@ def scan_blocks(data: bytes) -> list[BgzfBlock]:
     while offset < n:
         csize = _parse_bsize(data, offset)
         if offset + csize > n:
-            raise GzipFormatError("truncated BGZF block")
+            raise GzipFormatError("truncated BGZF block", stage="bgzf")
         isize = struct.unpack_from("<I", data, offset + csize - 4)[0]
         blocks.append(BgzfBlock(coffset=offset, csize=csize, usize=isize))
         offset += csize
     if not blocks or not blocks[-1].is_eof:
-        raise GzipFormatError("BGZF file lacks the EOF sentinel block")
+        raise GzipFormatError("BGZF file lacks the EOF sentinel block", stage="bgzf")
     return blocks
 
 
@@ -156,9 +156,9 @@ def read_block(data: bytes, block: BgzfBlock, verify: bool = True) -> bytes:
             "<II", data, block.coffset + block.csize - 8
         )
         if stored_isize != len(out):
-            raise GzipFormatError("BGZF block ISIZE mismatch")
+            raise GzipFormatError("BGZF block ISIZE mismatch", stage="bgzf")
         if stored_crc != crc32(out):
-            raise GzipFormatError("BGZF block CRC mismatch")
+            raise GzipFormatError("BGZF block CRC mismatch", stage="bgzf")
     return out
 
 

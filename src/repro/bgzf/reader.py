@@ -55,7 +55,8 @@ class BgzfReader:
         """Index of the block containing uncompressed offset ``uoffset``."""
         if not 0 <= uoffset < self._total:
             raise RandomAccessError(
-                f"offset {uoffset} outside uncompressed size {self._total}"
+                f"offset {uoffset} outside uncompressed size {self._total}",
+                stage="bgzf",
             )
         lo, hi = 0, len(self.blocks) - 1
         while lo < hi:
@@ -94,7 +95,7 @@ class BgzfReader:
             (i for i, b in enumerate(self.blocks) if b.coffset == coffset), None
         )
         if index is None:
-            raise RandomAccessError(f"no block at compressed offset {coffset}")
+            raise RandomAccessError(f"no block at compressed offset {coffset}", stage="bgzf")
         return self.read_at(self._starts[index] + skip, size)
 
 

@@ -281,6 +281,20 @@ def _cmd_fuzz(args) -> int:
     return 1 if report.crashes else 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint import run_lint
+
+    return run_lint(
+        args.paths,
+        fmt=args.format,
+        baseline_path=args.baseline,
+        update_baseline=args.update_baseline,
+        select=args.select,
+        ignore=args.ignore,
+        verbose=args.verbose,
+    )
+
+
 def _cmd_info(args) -> int:
     from repro.deflate import split_members
     from repro.deflate.inflate import inflate
@@ -415,6 +429,27 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--json", help="write the full machine-readable report here")
     f.add_argument("-v", "--verbose", action="store_true", help="print each case")
     f.set_defaults(func=_cmd_fuzz)
+
+    lnt = sub.add_parser(
+        "lint",
+        help="AST-based invariant checker (REP001-REP008)",
+        description="Enforce the codebase's decode-safety, error-context "
+                    "and parallelism contracts. Exit 0 clean, 1 findings, "
+                    "2 internal error.",
+    )
+    lnt.add_argument("paths", nargs="+", help="files or directories to check")
+    lnt.add_argument("--format", choices=("text", "json"), default="text")
+    lnt.add_argument("--baseline", default=None,
+                     help="baseline JSON: suppress known findings (ratchet)")
+    lnt.add_argument("--update-baseline", action="store_true",
+                     help="rewrite the baseline from current findings and exit 0")
+    lnt.add_argument("--select", default=None,
+                     help="comma-separated rule ids to run (default: all)")
+    lnt.add_argument("--ignore", default=None,
+                     help="comma-separated rule ids to skip")
+    lnt.add_argument("-v", "--verbose", action="store_true",
+                     help="also list baselined findings")
+    lnt.set_defaults(func=_cmd_lint)
 
     b = sub.add_parser("bgzf", help="blocked gzip (BGZF) operations (ref [12])")
     b.add_argument("mode", choices=("compress", "decompress", "extract"))

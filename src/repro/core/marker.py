@@ -86,7 +86,8 @@ def resolve(symbols: np.ndarray, window) -> np.ndarray:
     window = np.asarray(window, dtype=np.int32)
     if window.shape != (WINDOW_SIZE,):
         raise ReproError(
-            f"resolution window must have {WINDOW_SIZE} entries, got {window.shape}"
+            f"resolution window must have {WINDOW_SIZE} entries, got {window.shape}",
+            stage="marker",
         )
     mask = symbols >= MARKER_BASE
     out = symbols.copy()
@@ -106,7 +107,8 @@ def to_bytes(symbols: np.ndarray, placeholder: int | None = None) -> bytes:
     if mask.any():
         if placeholder is None:
             raise ReproError(
-                f"{int(mask.sum())} unresolved markers in symbol stream"
+                f"{int(mask.sum())} unresolved markers in symbol stream",
+                stage="marker",
             )
         symbols = symbols.copy()
         symbols[mask] = placeholder

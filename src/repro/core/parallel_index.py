@@ -39,7 +39,8 @@ def pugz_build_index(
         # Multi-member files don't need this index: members are
         # natural checkpoints already (see repro.bgzf).
         raise ReproError(
-            f"pugz_build_index expects a single-member file, got {report.members}"
+            f"pugz_build_index expects a single-member file, got {report.members}",
+            stage="parallel_index",
         )
     payload_start, *_ = parse_gzip_header(gz_data, 0)
 

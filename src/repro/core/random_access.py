@@ -214,7 +214,8 @@ def random_access_sequences(
     offset = max(byte_offset, payload_start)
     if 8 * offset >= payload_end_bit:
         raise RandomAccessError(
-            f"offset {byte_offset} is beyond the compressed payload"
+            f"offset {byte_offset} is beyond the compressed payload",
+            stage="random_access",
         )
     return random_access_payload(
         gz_data,

@@ -41,7 +41,8 @@ def final_window(symbols: np.ndarray, initial_window: np.ndarray | None = None) 
     if initial_window is None:
         raise ReproError(
             f"chunk produced {len(symbols)} < {WINDOW_SIZE} symbols and no "
-            "initial window was provided"
+            "initial window was provided",
+            stage="translate",
         )
     initial_window = np.asarray(initial_window, dtype=np.int32)
     return np.concatenate([initial_window, symbols])[-WINDOW_SIZE:]

@@ -91,7 +91,7 @@ def iter_pugz(
         # stripes seed from the carried context.
         if carry_context is None:
             if marker.count_markers(symbol_arrays[0]):
-                raise ReproError("stream references data before its start")
+                raise ReproError("stream references data before its start", stage="windowed")
             contexts = resolve_contexts(windows)
             stripe_ctxs = [None] + contexts[:-1]
             carry_context = contexts[-1]

@@ -72,7 +72,7 @@ def parse_fasta(data: bytes) -> list[FastaRecord]:
             seq_parts = []
         elif line:
             if header is None:
-                raise ReproError("sequence data before the first '>' header")
+                raise ReproError("sequence data before the first '>' header", stage="fasta")
             seq_parts.append(line)
     if header is not None:
         records.append(FastaRecord(header, b"".join(seq_parts)))

@@ -132,17 +132,18 @@ def parse_fastq(data: bytes) -> list[FastqRecord]:
     if lines and lines[-1] == b"":
         lines.pop()
     if len(lines) % 4:
-        raise ReproError(f"FASTQ line count {len(lines)} is not a multiple of 4")
+        raise ReproError(f"FASTQ line count {len(lines)} is not a multiple of 4", stage="fastq")
     for i in range(0, len(lines), 4):
         header, seq, plus, qual = lines[i : i + 4]
         if not header.startswith(b"@"):
-            raise ReproError(f"record {i // 4}: header does not start with '@'")
+            raise ReproError(f"record {i // 4}: header does not start with '@'", stage="fastq")
         if not plus.startswith(b"+"):
-            raise ReproError(f"record {i // 4}: third line does not start with '+'")
+            raise ReproError(f"record {i // 4}: third line does not start with '+'", stage="fastq")
         if len(seq) != len(qual):
             raise ReproError(
                 f"record {i // 4}: sequence/quality length mismatch "
-                f"({len(seq)} vs {len(qual)})"
+                f"({len(seq)} vs {len(qual)})",
+                stage="fastq",
             )
         records.append(FastqRecord(header, seq, plus, qual))
     return records

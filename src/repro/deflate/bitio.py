@@ -67,6 +67,7 @@ class BitReader:
             raise BitstreamError(
                 f"start_bit {start_bit} outside stream of {self._total_bits} bits",
                 bit_offset=start_bit,
+                stage="bitio",
             )
         self._pos = start_bit >> 3
         self._bitbuf = 0
@@ -130,7 +131,8 @@ class BitReader:
             # peek() zero-padded past the end; consuming that far is an error
             if nbits > self._bitcount + 8 * (self._nbytes - self._pos):
                 raise BitstreamError(
-                    "consumed past end of bit stream", bit_offset=self.tell_bits()
+                    "consumed past end of bit stream", bit_offset=self.tell_bits(),
+                    stage="bitio",
                 )
             self._refill()
         self._bitbuf >>= nbits
@@ -144,6 +146,7 @@ class BitReader:
                 raise BitstreamError(
                     f"requested {nbits} bits with only {self._bitcount} available",
                     bit_offset=self.tell_bits(),
+                    stage="bitio",
                 )
         value = self._bitbuf & ((1 << nbits) - 1)
         self._bitbuf >>= nbits
@@ -160,14 +163,16 @@ class BitReader:
         """Read ``nbytes`` aligned bytes (the cursor must be byte-aligned)."""
         if self.tell_bits() & 7:
             raise BitstreamError(
-                "read_bytes requires byte alignment", bit_offset=self.tell_bits()
+                "read_bytes requires byte alignment", bit_offset=self.tell_bits(),
+                stage="bitio",
             )
         # Flush buffered whole bytes back into a byte position.
         start = self.tell_bits() >> 3
         end = start + nbytes
         if end > self._nbytes:
             raise BitstreamError(
-                "read_bytes past end of stream", bit_offset=self.tell_bits()
+                "read_bytes past end of stream", bit_offset=self.tell_bits(),
+                stage="bitio",
             )
         out = self._data[start:end]
         # Re-seat the cursor after the raw bytes.
@@ -180,7 +185,8 @@ class BitReader:
         """Reposition the cursor at an absolute bit offset."""
         if bit_offset < 0 or bit_offset > self._total_bits:
             raise BitstreamError(
-                f"seek to {bit_offset} outside stream", bit_offset=bit_offset
+                f"seek to {bit_offset} outside stream", bit_offset=bit_offset,
+                stage="bitio",
             )
         self._pos = bit_offset >> 3
         self._bitbuf = 0

@@ -107,7 +107,7 @@ def crc32_combine(crc1: int, crc2: int, len2: int) -> int:
     row = 1
     for n in range(1, _GF2_DIM):
         odd[n] = row
-        row <<= 1
+        row = (row << 1) & 0xFFFFFFFF
 
     # Operator for two zero bits, then four.
     _gf2_matrix_square(even, odd)

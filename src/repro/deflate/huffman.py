@@ -60,7 +60,7 @@ def canonical_codes(lengths) -> list[int]:
     bl_count = [0] * (max_bits + 1)
     for l in lengths:
         if l < 0:
-            raise HuffmanError(f"negative code length {l}")
+            raise HuffmanError(f"negative code length {l}", stage="huffman")
         bl_count[l] += 1
     bl_count[0] = 0
 
@@ -70,7 +70,7 @@ def canonical_codes(lengths) -> list[int]:
         code = (code + bl_count[bits - 1]) << 1
         next_code[bits] = code
         if code + bl_count[bits] > (1 << bits):
-            raise HuffmanError("over-subscribed code lengths")
+            raise HuffmanError("over-subscribed code lengths", stage="huffman")
 
     codes = [0] * len(lengths)
     for sym, l in enumerate(lengths):
@@ -105,7 +105,7 @@ class HuffmanDecoder:
         lengths = list(lengths)
         nonzero = [l for l in lengths if l > 0]
         if not nonzero:
-            raise HuffmanError("no symbols in code")
+            raise HuffmanError("no symbols in code", stage="huffman")
         self.num_symbols = len(nonzero)
         max_bits = max(nonzero)
         self.max_bits = max_bits
@@ -113,10 +113,10 @@ class HuffmanDecoder:
         ksum, _ = kraft_sum(lengths)
         full = 1 << max_bits
         if ksum > full:
-            raise HuffmanError("over-subscribed code lengths")
+            raise HuffmanError("over-subscribed code lengths", stage="huffman")
         self.complete = ksum == full
         if not self.complete and not allow_incomplete:
-            raise HuffmanError("incomplete code lengths")
+            raise HuffmanError("incomplete code lengths", stage="huffman")
 
         codes = canonical_codes(lengths)
         size = 1 << max_bits
@@ -135,7 +135,7 @@ class HuffmanDecoder:
         entry = self.table[reader.peek(self.max_bits)]
         length = entry & 15
         if length == 0:
-            raise HuffmanError("invalid Huffman code in stream")
+            raise HuffmanError("invalid Huffman code in stream", stage="huffman")
         reader.consume(length)
         return entry >> 4
 
@@ -157,7 +157,7 @@ class HuffmanEncoder:
         """Emit ``symbol``'s code into ``writer``."""
         length = self.lengths[symbol]
         if length == 0:
-            raise HuffmanError(f"symbol {symbol} has no code")
+            raise HuffmanError(f"symbol {symbol} has no code", stage="huffman")
         writer.write(self.reversed_codes[symbol], length)
 
     def cost_bits(self, symbol: int) -> int:
@@ -238,7 +238,8 @@ def limited_code_lengths(freqs, max_bits: int) -> list[int]:
         return lengths
     if (1 << max_bits) < len(used):
         raise HuffmanError(
-            f"cannot code {len(used)} symbols within {max_bits} bits"
+            f"cannot code {len(used)} symbols within {max_bits} bits",
+            stage="huffman",
         )
     used.sort()
     sorted_weights = [f for f, _ in used]

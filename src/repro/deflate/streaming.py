@@ -25,7 +25,7 @@ from repro.deflate import constants as C
 from repro.deflate.deflate import compress_tokens
 from repro.deflate.inflate import inflate
 from repro.deflate.lz77 import parse_lz77
-from repro.errors import ReproError
+from repro.errors import DeflateError, ReproError
 
 __all__ = ["SYNC_FLUSH", "FULL_FLUSH", "FINISH", "DeflateCompressor", "InflateDecompressor"]
 
@@ -53,14 +53,14 @@ class DeflateCompressor:
     def compress(self, data: bytes) -> bytes:
         """Buffer input; output is produced by :meth:`flush`."""
         if self._finished:
-            raise ReproError("compressor already finished")
+            raise ReproError("compressor already finished", stage="streaming")
         self._pending += data
         return b""
 
     def flush(self, mode: str = SYNC_FLUSH) -> bytes:
         """Emit all pending input as complete, byte-aligned blocks."""
         if self._finished:
-            raise ReproError("compressor already finished")
+            raise ReproError("compressor already finished", stage="streaming")
         if mode not in (SYNC_FLUSH, FULL_FLUSH, FINISH):
             raise ValueError(f"unknown flush mode {mode!r}")
         chunk = bytes(self._pending)
@@ -103,7 +103,7 @@ class InflateDecompressor:
         """Feed compressed bytes; return whatever decodes completely."""
         if self._finished:
             if data:
-                raise ReproError("data after the final block")
+                raise ReproError("data after the final block", stage="streaming")
             out = bytes(self._out)
             self._out.clear()
             return out
@@ -117,9 +117,12 @@ class InflateDecompressor:
                     window=self._window,
                     max_blocks=1,
                 )
-            except Exception:
+            except DeflateError:
                 # Partial block: wait for more input.  (A genuinely
-                # corrupt stream will fail again at finish().)
+                # corrupt stream will fail again at finish().)  Only
+                # stream-format errors mean "incomplete" — anything
+                # else (MemoryError, a decoder bug) must propagate
+                # instead of masquerading as a short read.
                 break
             if not result.blocks:
                 break
@@ -148,7 +151,7 @@ class InflateDecompressor:
         """Assert stream completion and drain remaining output."""
         out = self.decompress(b"")
         if not self._finished:
-            raise ReproError("stream ended before its final block")
+            raise ReproError("stream ended before its final block", stage="streaming")
         return out
 
     @property

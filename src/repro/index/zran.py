@@ -50,7 +50,8 @@ class GzipIndex:
         """Last checkpoint at or before ``uoffset``."""
         if not 0 <= uoffset < self.usize:
             raise RandomAccessError(
-                f"offset {uoffset} outside uncompressed size {self.usize}"
+                f"offset {uoffset} outside uncompressed size {self.usize}",
+                stage="zran",
             )
         best = self.checkpoints[0]
         for cp in self.checkpoints:
@@ -92,7 +93,7 @@ class GzipIndex:
     @classmethod
     def from_bytes(cls, data: bytes) -> "GzipIndex":
         if data[: len(_MAGIC)] != _MAGIC:
-            raise GzipFormatError("not a gzip index blob")
+            raise GzipFormatError("not a gzip index blob", stage="zran")
         pos = len(_MAGIC)
         usize, span, n = struct.unpack_from("<QQI", data, pos)
         pos += 20

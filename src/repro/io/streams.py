@@ -117,13 +117,13 @@ def iter_fastq_records(stream: PugzStream) -> Iterator[FastqRecord]:
         plus = stream.readline()
         qual = stream.readline()
         if not qual:
-            raise ReproError("truncated FASTQ record at end of stream")
+            raise ReproError("truncated FASTQ record at end of stream", stage="streams")
         header, seq, plus, qual = (
             header.rstrip(b"\n"), seq.rstrip(b"\n"),
             plus.rstrip(b"\n"), qual.rstrip(b"\n"),
         )
         if not header.startswith(b"@") or not plus.startswith(b"+"):
-            raise ReproError(f"malformed FASTQ record near {header[:40]!r}")
+            raise ReproError(f"malformed FASTQ record near {header[:40]!r}", stage="streams")
         if len(seq) != len(qual):
-            raise ReproError("FASTQ sequence/quality length mismatch")
+            raise ReproError("FASTQ sequence/quality length mismatch", stage="streams")
         yield FastqRecord(header, seq, plus, qual)

@@ -1,0 +1,41 @@
+"""``repro.lint`` — AST-based invariant checker for this codebase.
+
+A domain-specific static-analysis pass enforcing the contracts the
+repository's correctness story depends on but ordinary linters cannot
+see: structured error context at every ``ReproError`` raise site
+(REP001), no broad exception handlers in the decode path (REP002),
+process-pool pickle safety for executor-bound callables (REP003),
+seeded-only randomness (REP004), explicit width masking in the bit-level
+hot paths (REP005), no mutable default arguments (REP006), no
+module-level mutable state in fork-sensitive packages (REP007) and
+``__all__``/export agreement in package ``__init__`` files (REP008).
+
+Three front doors:
+
+* ``repro lint src/repro`` — the CLI subcommand (see :mod:`repro.lint.runner`);
+* ``make lint`` — the same run with the repo baseline, part of ``make check``;
+* ``tests/lint/test_self_clean.py`` — tier-1 pytest gate.
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue, the pragma
+syntax (``# lint: allow-<slug>(<reason>)``) and the baseline workflow.
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import Linter, LintResult, lint_paths, lint_source
+from repro.lint.findings import Finding
+from repro.lint.registry import LintConfigError, Rule, all_rules, resolve_rules
+from repro.lint.runner import run_lint
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintConfigError",
+    "LintResult",
+    "Linter",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "resolve_rules",
+    "run_lint",
+]

@@ -1,0 +1,114 @@
+"""Baseline: ratchet pre-existing findings without blocking the build.
+
+The baseline file records fingerprints (line-insensitive identities) of
+known findings with a per-fingerprint count.  A lint run then reports
+only *new* findings: for each fingerprint, up to the baselined count is
+suppressed and anything beyond it (or any unknown fingerprint) fails
+the run.  Fixing a violation never breaks the build — the stale entry
+is simply unused; ``--update-baseline`` rewrites the file from the
+current findings, which is how the count ratchets down over time.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.findings import Finding
+from repro.lint.registry import LintConfigError
+
+__all__ = ["Baseline"]
+
+_FORMAT_VERSION = 1
+
+
+class Baseline:
+    """A fingerprint -> allowed-count map with JSON (de)serialisation."""
+
+    def __init__(self, entries: dict[str, dict] | None = None) -> None:
+        # fingerprint -> {"count": int, "rule": str, "path": str, "message": str}
+        self.entries: dict[str, dict] = dict(entries or {})
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        entries: dict[str, dict] = {}
+        for f in findings:
+            fp = f.fingerprint()
+            if fp in entries:
+                entries[fp]["count"] += 1
+            else:
+                entries[fp] = {
+                    "count": 1,
+                    "rule": f.rule_id,
+                    "path": f.path,
+                    "message": f.message,
+                }
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise LintConfigError(
+                f"baseline file not found: {path}", stage="lint"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise LintConfigError(
+                f"baseline file {path} is not valid JSON: {exc}", stage="lint"
+            ) from exc
+        if raw.get("version") != _FORMAT_VERSION:
+            raise LintConfigError(
+                f"baseline file {path} has unsupported version "
+                f"{raw.get('version')!r}",
+                stage="lint",
+            )
+        entries = {
+            e["fingerprint"]: {
+                "count": int(e.get("count", 1)),
+                "rule": e.get("rule", ""),
+                "path": e.get("path", ""),
+                "message": e.get("message", ""),
+            }
+            for e in raw.get("entries", [])
+        }
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "entries": [
+                {"fingerprint": fp, **info}
+                for fp, info in sorted(self.entries.items(),
+                                       key=lambda kv: (kv[1]["path"],
+                                                       kv[1]["rule"],
+                                                       kv[0]))
+            ],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                              encoding="utf-8")
+
+    # -- filtering ----------------------------------------------------------
+
+    def split(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding]]:
+        """Partition ``findings`` into (new, baselined).
+
+        Findings sharing a fingerprint are matched against the baseline
+        count in source order: the first ``count`` occurrences are
+        considered pre-existing, the rest are new.
+        """
+        seen: Counter[str] = Counter()
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for f in sorted(findings, key=Finding.sort_key):
+            fp = f.fingerprint()
+            seen[fp] += 1
+            allowed = self.entries.get(fp, {}).get("count", 0)
+            (old if seen[fp] <= allowed else new).append(f)
+        return new, old
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,155 @@
+"""The analyzer engine: discover files, run rules, apply suppressions.
+
+The engine is deliberately dumb about *what* the rules check — it owns
+the mechanics every rule shares: file discovery, parsing, central
+pragma suppression (a finding whose anchor line carries a valid
+``# lint: allow-<slug>(reason)`` pragma is dropped before reporting)
+and baseline splitting.  Parse failures are collected as *internal
+errors*, not findings: a file that will not parse ran zero rules, and
+pretending otherwise would let real violations hide behind a stray
+syntax error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.baseline import Baseline
+from repro.lint.findings import Finding
+from repro.lint.module import ModuleInfo, load_module
+from repro.lint.pragmas import line_allows
+from repro.lint.registry import Rule, resolve_rules
+
+__all__ = ["LintResult", "Linter", "lint_paths", "lint_source"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run."""
+
+    findings: list[Finding] = field(default_factory=list)       # new (blocking)
+    baselined: list[Finding] = field(default_factory=list)      # suppressed
+    internal_errors: list[str] = field(default_factory=list)    # parse/config
+    files_checked: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.internal_errors
+
+    def exit_code(self) -> int:
+        """CLI contract: 0 clean, 1 findings, 2 internal error."""
+        if self.internal_errors:
+            return 2
+        return 1 if self.findings else 0
+
+
+class Linter:
+    """Run a set of rules over modules, with pragma + baseline filtering."""
+
+    def __init__(
+        self,
+        rules: list[Rule] | None = None,
+        baseline: Baseline | None = None,
+        root: Path | None = None,
+    ) -> None:
+        self.rules = rules if rules is not None else resolve_rules()
+        self.baseline = baseline
+        self.root = root or Path.cwd()
+
+    # -- discovery ----------------------------------------------------------
+
+    @staticmethod
+    def iter_python_files(paths: list[Path]):
+        for path in paths:
+            if path.is_file():
+                if path.suffix == ".py":
+                    yield path
+            elif path.is_dir():
+                for sub in sorted(path.rglob("*.py")):
+                    if not any(part in _SKIP_DIRS for part in sub.parts):
+                        yield sub
+
+    # -- execution ----------------------------------------------------------
+
+    def check_module(self, module: ModuleInfo) -> list[Finding]:
+        """All non-suppressed findings for one parsed module."""
+        out: list[Finding] = []
+        for rule in self.rules:
+            for finding in rule.check(module):
+                if line_allows(module.pragmas, finding.line, finding.slug):
+                    continue
+                out.append(finding)
+        return out
+
+    def run(self, paths: list[Path]) -> LintResult:
+        result = LintResult()
+        raw: list[Finding] = []
+        seen: set[Path] = set()
+        any_input = False
+        for path in self.iter_python_files(paths):
+            any_input = True
+            resolved = path.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            try:
+                module = load_module(path, root=self.root)
+            except (SyntaxError, OSError, UnicodeDecodeError) as exc:
+                result.internal_errors.append(f"{path}: {exc}")
+                continue
+            result.files_checked += 1
+            raw.extend(self.check_module(module))
+        if not any_input:
+            result.internal_errors.append(
+                "no Python files found in: "
+                + ", ".join(str(p) for p in paths)
+            )
+        if self.baseline is not None:
+            new, old = self.baseline.split(raw)
+            result.findings = new
+            result.baselined = old
+        else:
+            result.findings = sorted(raw, key=Finding.sort_key)
+        return result
+
+
+def lint_paths(
+    paths: list[Path],
+    *,
+    rules: list[Rule] | None = None,
+    baseline: Baseline | None = None,
+    root: Path | None = None,
+) -> LintResult:
+    """Convenience wrapper: run the (selected) rule set over ``paths``."""
+    return Linter(rules=rules, baseline=baseline, root=root).run(paths)
+
+
+def lint_source(
+    source: str,
+    *,
+    module_name: str = "snippet",
+    relpath: str = "snippet.py",
+    rules: list[Rule] | None = None,
+) -> list[Finding]:
+    """Lint an in-memory snippet (the fixture-test workhorse).
+
+    ``module_name`` controls package-scoped rules: pass e.g.
+    ``"repro.deflate.bitio"`` to exercise scope-limited checks.
+    """
+    import ast
+
+    from repro.lint.pragmas import extract_pragmas
+
+    module = ModuleInfo(
+        path=Path(relpath),
+        relpath=relpath,
+        name=module_name,
+        source=source,
+        tree=ast.parse(source),
+        pragmas=extract_pragmas(source),
+    )
+    linter = Linter(rules=rules)
+    return sorted(linter.check_module(module), key=Finding.sort_key)

@@ -1,0 +1,60 @@
+"""Finding: one reported rule violation, with a stable fingerprint.
+
+A finding is the unit of output of the whole analyzer: ``file:line``
+location, rule id (``REP001``...), severity, human message and a fix
+hint.  The *fingerprint* intentionally excludes the line number so that
+baselined findings survive unrelated edits above them in the file; two
+identical violations in one file share a fingerprint and are matched by
+count (see :mod:`repro.lint.baseline`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["Finding", "SEVERITIES"]
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule_id: str          # "REP001"
+    slug: str             # pragma slug, e.g. "no-stage"
+    path: str             # repo-relative posix path
+    line: int             # 1-based
+    col: int              # 0-based (ast convention)
+    message: str
+    hint: str = ""
+    severity: str = "error"
+
+    def fingerprint(self) -> str:
+        """Line-insensitive identity used for baseline matching."""
+        key = f"{self.path}::{self.rule_id}::{self.message}"
+        return hashlib.sha1(key.encode()).hexdigest()[:16]
+
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def format_text(self) -> str:
+        loc = f"{self.path}:{self.line}:{self.col + 1}"
+        out = f"{loc}: {self.rule_id} [{self.severity}] {self.message}"
+        if self.hint:
+            out += f"\n    hint: {self.hint}"
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "slug": self.slug,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint(),
+        }

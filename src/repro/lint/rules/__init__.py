@@ -1,0 +1,25 @@
+"""Domain rule registry: importing this package registers every rule.
+
+Each module holds one rule; the import side effect (the ``@register``
+decorator) is what :func:`repro.lint.registry.all_rules` relies on.
+"""
+
+from repro.lint.rules.context import ErrorContextRule
+from repro.lint.rules.defaults import MutableDefaultRule
+from repro.lint.rules.excepts import BroadExceptRule
+from repro.lint.rules.exports import ExportSyncRule
+from repro.lint.rules.masking import UnmaskedWidthRule
+from repro.lint.rules.modstate import ModuleStateRule
+from repro.lint.rules.pickle_safety import PickleSafetyRule
+from repro.lint.rules.randomness import UnseededRandomnessRule
+
+__all__ = [
+    "ErrorContextRule",
+    "MutableDefaultRule",
+    "BroadExceptRule",
+    "ExportSyncRule",
+    "UnmaskedWidthRule",
+    "ModuleStateRule",
+    "PickleSafetyRule",
+    "UnseededRandomnessRule",
+]

@@ -1,0 +1,111 @@
+"""REP001 — every ``ReproError`` raise site carries structured context.
+
+PR 1 made ``stage=`` (plus ``bit_offset=`` / ``chunk_index=`` in the
+decoder hot paths) the forensic backbone of the library: when a 40 GB
+archive fails, the error says *where*.  This rule keeps that invariant
+from rotting — any ``raise SomeReproError(...)`` without ``stage=`` is
+a finding, and the bit-level modules (``bitio``, ``inflate``) must also
+pass ``bit_offset=`` while the chunked two-pass decoder (``pugz``) must
+localise the failure with ``bit_offset=`` or ``chunk_index=``.
+
+The ReproError family is discovered by introspecting
+:mod:`repro.errors` and augmented with subclasses defined in the
+scanned module itself, so downstream error types are covered without a
+hand-maintained list.  Re-raises (``raise``), exception *values*
+(``raise err``) and calls spreading ``**kwargs`` are out of scope — the
+rule only judges call sites whose keywords it can see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+import repro.errors as _errors
+from repro.lint.findings import Finding
+from repro.lint.module import ModuleInfo
+from repro.lint.registry import Rule, register
+
+__all__ = ["ErrorContextRule"]
+
+# Modules where a bare stage is not enough: bit-level decoders must say
+# where in the stream, the chunked decoder must say which chunk.
+_NEED_BIT_OFFSET = {"bitio", "inflate"}
+_NEED_LOCATION = {"pugz"}  # bit_offset OR chunk_index
+
+
+def _base_family() -> frozenset[str]:
+    return frozenset(
+        name
+        for name, obj in vars(_errors).items()
+        if isinstance(obj, type) and issubclass(obj, _errors.ReproError)
+    )
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _local_subclasses(tree: ast.Module, family: set[str]) -> set[str]:
+    """Names of classes in ``tree`` deriving (transitively) from the family."""
+    classes = [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]
+    grown = True
+    local: set[str] = set()
+    while grown:
+        grown = False
+        for cls in classes:
+            if cls.name in local:
+                continue
+            bases = {_terminal_name(b) for b in cls.bases}
+            if bases & (family | local):
+                local.add(cls.name)
+                grown = True
+    return local
+
+
+@register
+class ErrorContextRule(Rule):
+    rule_id = "REP001"
+    slug = "no-stage"
+    summary = (
+        "ReproError raise sites must pass stage= (and bit_offset=/"
+        "chunk_index= in bitio/inflate/pugz)"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        family = set(_base_family())
+        family |= _local_subclasses(module.tree, family)
+        basename = module.basename
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Raise) and isinstance(node.exc, ast.Call)):
+                continue
+            name = _terminal_name(node.exc.func)
+            if name not in family:
+                continue
+            keywords = node.exc.keywords
+            if any(kw.arg is None for kw in keywords):
+                continue  # **kwargs: context may be spread in
+            present = {kw.arg for kw in keywords}
+            missing: list[str] = []
+            if "stage" not in present:
+                missing.append("stage=")
+            if basename in _NEED_BIT_OFFSET and "bit_offset" not in present:
+                missing.append("bit_offset=")
+            if basename in _NEED_LOCATION and not (
+                {"bit_offset", "chunk_index"} & present
+            ):
+                missing.append("bit_offset= or chunk_index=")
+            if missing:
+                yield self.finding(
+                    module,
+                    node,
+                    f"raise {name}(...) without {' and '.join(missing)}",
+                    hint=(
+                        f'pass stage="{basename}" (or the pipeline stage name) '
+                        "so failures stay localisable across process boundaries"
+                    ),
+                )

@@ -1,0 +1,70 @@
+"""REP006 — no mutable default arguments anywhere in ``src/repro/``.
+
+The classic Python footgun: a ``def f(out=[])`` default is evaluated
+once and shared across every call — and in this codebase, across every
+*fork*, so state leaks between supposedly independent decompressions.
+Flags list/dict/set literals and comprehensions plus calls to the
+mutable builtin constructors (``list()``, ``dict()``, ``set()``,
+``bytearray()``, ``collections.deque`` / ``defaultdict`` / ``Counter``
+/ ``OrderedDict``) in positional or keyword-only defaults of any
+function, method or lambda.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.module import ModuleInfo
+from repro.lint.registry import Rule, register
+
+__all__ = ["MutableDefaultRule"]
+
+_MUTABLE_LITERALS = (
+    ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp,
+)
+_MUTABLE_CTORS = {
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "Counter", "OrderedDict",
+}
+
+
+def _is_mutable(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        fn = node.func
+        name = fn.id if isinstance(fn, ast.Name) else (
+            fn.attr if isinstance(fn, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CTORS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    rule_id = "REP006"
+    slug = "mutable-default"
+    summary = "no mutable default arguments (shared across calls and forks)"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]
+            owner = getattr(node, "name", "<lambda>")
+            for default in defaults:
+                if _is_mutable(default):
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default argument in {owner}()",
+                        hint="default to None and create the object inside "
+                             "the function body",
+                    )

@@ -1,0 +1,80 @@
+"""REP002 — no broad exception handlers in the decode path.
+
+``src/repro/deflate/`` and ``src/repro/core/`` are the correctness
+core: a ``DeflateError`` there is *signal* (block-start probing treats
+it as "not a block start"), while ``MemoryError`` / ``AttributeError``
+/ a typo'd name are *bugs*.  A broad ``except Exception:`` conflates
+the two — the fault-injection campaign found a real instance where a
+programming error masqueraded as "partial block, wait for more input".
+
+Flagged: bare ``except:``, ``except Exception:``, ``except
+BaseException:`` (also inside tuples).  Exempt: handlers that re-raise
+(any ``raise`` statement in the handler body — capture-annotate-rethrow
+is a supported pattern) and sites annotated with
+``# lint: allow-broad-except(<reason>)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.module import ModuleInfo
+from repro.lint.registry import Rule, register
+
+__all__ = ["BroadExceptRule"]
+
+_SCOPED_PACKAGES = ("repro.deflate", "repro.core")
+_BROAD = {"Exception", "BaseException"}
+
+
+def _broad_name(node: ast.expr | None) -> str | None:
+    """The broad class caught by this handler type, if any."""
+    if node is None:
+        return "<bare>"
+    if isinstance(node, ast.Name) and node.id in _BROAD:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in _BROAD:
+        return node.attr
+    if isinstance(node, ast.Tuple):
+        for elt in node.elts:
+            name = _broad_name(elt)
+            if name:
+                return name
+    return None
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(n, ast.Raise) for n in ast.walk(handler))
+
+
+@register
+class BroadExceptRule(Rule):
+    rule_id = "REP002"
+    slug = "broad-except"
+    summary = (
+        "no bare/broad except in repro.deflate and repro.core unless "
+        "re-raised or pragma-whitelisted"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_package(*_SCOPED_PACKAGES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = _broad_name(node.type)
+            if broad is None or _reraises(node):
+                continue
+            what = "bare except:" if broad == "<bare>" else f"except {broad}:"
+            yield self.finding(
+                module,
+                node,
+                f"{what} swallows programming errors in the decode path",
+                hint=(
+                    "catch DeflateError (or the specific ReproError subclass), "
+                    "re-raise, or annotate with "
+                    "# lint: allow-broad-except(<reason>)"
+                ),
+            )

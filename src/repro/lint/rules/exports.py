@@ -1,0 +1,112 @@
+"""REP008 — package ``__init__`` exports and ``__all__`` must agree.
+
+The ``__init__`` modules are the library's public API surface; tests
+(``tests/test_api_surface.py``) and downstream users navigate by
+``__all__``.  Drift in either direction is a bug: a public name missing
+from ``__all__`` silently vanishes from ``from pkg import *`` and API
+docs, while an ``__all__`` entry that is never bound raises only at
+``import *`` time — the one path the test suite least exercises.
+
+Checked only in ``__init__.py`` files.  "Public" means any top-level
+binding (import, def, class, assignment) whose name does not start with
+an underscore; dunders like ``__version__`` may appear in ``__all__``
+but are never required to.  Modules using ``from x import *`` or a
+non-literal ``__all__`` are skipped — the rule refuses to guess.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.module import ModuleInfo
+from repro.lint.registry import Rule, register
+
+__all__ = ["ExportSyncRule"]
+
+
+def _literal_all(tree: ast.Module) -> tuple[list[str] | None, ast.stmt | None]:
+    """(entries, node) for a literal ``__all__`` assignment, if present."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            if isinstance(node.value, (ast.List, ast.Tuple)) and all(
+                isinstance(e, ast.Constant) and isinstance(e.value, str)
+                for e in node.value.elts
+            ):
+                return [e.value for e in node.value.elts], node
+            return None, node  # dynamic __all__: refuse to guess
+    return None, None
+
+
+def _top_level_bindings(tree: ast.Module) -> set[str]:
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name == "*":
+                    return {"*"}
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for t in node.targets:
+                if isinstance(t, ast.Name):
+                    names.add(t.id)
+                elif isinstance(t, (ast.Tuple, ast.List)):
+                    names.update(
+                        e.id for e in t.elts if isinstance(e, ast.Name)
+                    )
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return names
+
+
+def _is_dunder(name: str) -> bool:
+    return name.startswith("__") and name.endswith("__")
+
+
+@register
+class ExportSyncRule(Rule):
+    rule_id = "REP008"
+    slug = "export-sync"
+    summary = "package __init__ public names and __all__ must match exactly"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.is_package_init:
+            return
+        entries, all_node = _literal_all(module.tree)
+        bindings = _top_level_bindings(module.tree)
+        if "*" in bindings:
+            return  # star import: membership is undecidable statically
+        public = {n for n in bindings if not n.startswith("_")}
+        if all_node is None:
+            if public:
+                yield self.finding(
+                    module,
+                    module.tree.body[0] if module.tree.body else module.tree,
+                    f"package __init__ exports {len(public)} public name(s) "
+                    "but defines no __all__",
+                    hint="add __all__ listing the intended public API",
+                )
+            return
+        if entries is None:
+            return  # dynamically-built __all__
+        for name in sorted(set(entries) - bindings):
+            yield self.finding(
+                module,
+                all_node,
+                f"__all__ lists {name!r} but the module never binds it",
+                hint="remove the stale entry or import the name",
+            )
+        for name in sorted(public - set(entries)):
+            if _is_dunder(name):
+                continue
+            yield self.finding(
+                module,
+                all_node,
+                f"public name {name!r} is not in __all__",
+                hint="add it to __all__ or rename it with a leading underscore",
+            )

@@ -1,0 +1,107 @@
+"""REP005 — shift results in bit-level hot paths must be width-masked.
+
+Python integers never overflow, which is exactly why ports of C bit
+manipulation code corrupt silently instead of crashing: a value a C
+``uint32_t`` would have truncated keeps its high bits here, and the
+difference only surfaces when a CRC mismatches or a Huffman table entry
+collides many megabytes later (rapidgzip's changelog is a catalogue of
+these).  In the three modules that port C-shaped bit arithmetic —
+``bitio``, ``crc32``, ``huffman`` — a left-shift whose result is
+*stored or compared* must therefore be masked to an explicit width.
+
+Flagged patterns (top-level expression is an unmasked ``<<``):
+
+* comparisons: ``if crc == value << 8:``
+* returns: ``return code << 1``
+* in-place shifts: ``row <<= 1``
+* stores into attributes/subscripts: ``self._buf = x << n``
+
+Not flagged: ``(x << n) & MASK`` (the point of the rule), ``1 << n``
+(a power-of-two *width constant*, the dominant idiom and never a
+truncation hazard), shifts feeding a wider expression (``a | b << c`` —
+judged by what happens to the enclosing expression), and plain local
+temporaries.  Escape hatch: ``# lint: allow-unmasked-width(<reason>)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.module import ModuleInfo
+from repro.lint.registry import Rule, register
+
+__all__ = ["UnmaskedWidthRule"]
+
+_SCOPED_BASENAMES = {"bitio", "crc32", "huffman"}
+
+
+def _is_width_constant(node: ast.BinOp) -> bool:
+    """``1 << n`` — a power-of-two constant, not a value being widened."""
+    return isinstance(node.left, ast.Constant) and node.left.value == 1
+
+
+def _unmasked_shift(node: ast.expr) -> ast.BinOp | None:
+    """The node itself, if it is a top-level ``<<`` with no mask applied."""
+    if (
+        isinstance(node, ast.BinOp)
+        and isinstance(node.op, ast.LShift)
+        and not _is_width_constant(node)
+    ):
+        return node
+    return None
+
+
+@register
+class UnmaskedWidthRule(Rule):
+    rule_id = "REP005"
+    slug = "unmasked-width"
+    summary = (
+        "left-shift results stored or compared in bitio/crc32/huffman "
+        "must be masked to an explicit width"
+    )
+
+    _HINT = "mask to the intended width, e.g. (value << n) & 0xFFFFFFFF"
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.basename not in _SCOPED_BASENAMES:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.LShift):
+                yield self.finding(
+                    module,
+                    node,
+                    "in-place left shift (<<=) grows without bound in Python",
+                    hint=self._HINT,
+                )
+            elif isinstance(node, ast.Compare):
+                for side in [node.left, *node.comparators]:
+                    if _unmasked_shift(side) is not None:
+                        yield self.finding(
+                            module,
+                            node,
+                            "comparison against an unmasked left-shift result",
+                            hint=self._HINT,
+                        )
+                        break
+            elif isinstance(node, ast.Return):
+                if node.value is not None and _unmasked_shift(node.value) is not None:
+                    yield self.finding(
+                        module,
+                        node,
+                        "returning an unmasked left-shift result",
+                        hint=self._HINT,
+                    )
+            elif isinstance(node, ast.Assign):
+                if _unmasked_shift(node.value) is not None and any(
+                    isinstance(t, (ast.Attribute, ast.Subscript))
+                    for t in node.targets
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "storing an unmasked left-shift result into "
+                        "persistent state",
+                        hint=self._HINT,
+                    )

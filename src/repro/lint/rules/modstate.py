@@ -1,0 +1,101 @@
+"""REP007 — no module-level mutable state in the fork-sensitive packages.
+
+``repro.parallel`` and ``repro.robustness`` run on both sides of a
+process boundary.  Module-level mutable objects there are a
+fork/spawn divergence hazard: under ``fork`` the child inherits a copy
+of whatever the parent mutated so far, under ``spawn`` it re-imports
+the pristine module — so any code that *writes* such state behaves
+differently per start method, the worst kind of platform bug.
+
+Flagged: module-level assignments of list/dict/set literals or
+comprehensions, and calls to mutable constructors (``list``, ``dict``,
+``set``, ``bytearray``, ``deque``, ``defaultdict``, ``Counter``,
+``OrderedDict``).  Allowed: immutable values (tuples, frozensets,
+strings, numbers), read-only views (``types.MappingProxyType({...})``),
+dunder metadata (``__all__``), and sites annotated
+``# lint: allow-module-state(<reason>)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.module import ModuleInfo
+from repro.lint.registry import Rule, register
+
+__all__ = ["ModuleStateRule"]
+
+_SCOPED_PACKAGES = ("repro.parallel", "repro.robustness")
+_MUTABLE_LITERALS = (
+    ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp,
+)
+_MUTABLE_CTORS = {
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "Counter", "OrderedDict",
+}
+
+
+def _is_mutable_value(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.BinOp):
+        # [0] * n and friends still build a list.
+        return _is_mutable_value(node.left) or _is_mutable_value(node.right)
+    if isinstance(node, ast.Call):
+        fn = node.func
+        name = fn.id if isinstance(fn, ast.Name) else (
+            fn.attr if isinstance(fn, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CTORS
+    return False
+
+
+def _target_names(node: ast.stmt) -> list[str]:
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, ast.AnnAssign):
+        targets = [node.target]
+    names: list[str] = []
+    for t in targets:
+        if isinstance(t, ast.Name):
+            names.append(t.id)
+        elif isinstance(t, (ast.Tuple, ast.List)):
+            names.extend(e.id for e in t.elts if isinstance(e, ast.Name))
+    return names
+
+
+@register
+class ModuleStateRule(Rule):
+    rule_id = "REP007"
+    slug = "module-state"
+    summary = (
+        "no module-level mutable state in repro.parallel / "
+        "repro.robustness (fork vs spawn divergence)"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_package(*_SCOPED_PACKAGES):
+            return
+        for node in module.tree.body:
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            if value is None or not _is_mutable_value(value):
+                continue
+            names = _target_names(node)
+            if names and all(n.startswith("__") and n.endswith("__") for n in names):
+                continue  # __all__ and other module metadata
+            label = ", ".join(names) or "<target>"
+            yield self.finding(
+                module,
+                node,
+                f"module-level mutable state {label!s} in a fork-sensitive "
+                "package",
+                hint=(
+                    "use a tuple/frozenset, wrap mappings in "
+                    "types.MappingProxyType, or move the state into a class"
+                ),
+            )

@@ -1,0 +1,136 @@
+"""REP003 — executor-bound callables must be module-level functions.
+
+Everything crossing the :class:`~repro.parallel.executor.ProcessExecutor`
+boundary is pickled.  Lambdas, closures (functions defined inside other
+functions) and bound methods either fail to pickle outright or drag
+their enclosing state across the fork — both show up as confusing
+runtime errors only when the ``process`` backend is selected, which CI
+machines with one core rarely exercise.
+
+Scope — what counts as an executor call
+---------------------------------------
+
+The rule matches method calls named ``map`` / ``map_outcomes`` /
+``submit`` whose *receiver* is executor-shaped: a name or attribute
+containing ``executor`` or ``pool`` (``executor.map``, ``self._pool.submit``)
+or a direct constructor/factory call
+(``ProcessExecutor(2).map``, ``make_executor("thread").map_outcomes``).
+The first positional argument is then required to be a plain name bound
+at module level (or a parameter/import — anything that is *not*
+demonstrably a lambda, a nested ``def``, or a bound method).
+
+Deliberately **out of scope**: callables that never cross a process
+boundary — ``sorted(key=lambda ...)`` and other key functions (e.g. the
+LPT sort key in :mod:`repro.parallel.scheduler`), hypothesis strategy
+``.map(...)`` in tests, and ``ThreadExecutor``-only call sites are
+indistinguishable statically, so the receiver heuristic errs toward the
+names the codebase actually uses for executors.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.module import ModuleInfo
+from repro.lint.registry import Rule, register
+
+__all__ = ["PickleSafetyRule"]
+
+_METHODS = {"map", "map_outcomes", "submit"}
+_RECEIVER_TOKENS = ("executor", "pool")
+_CONSTRUCTORS = {
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "ProcessPoolExecutor",
+    "ThreadPoolExecutor",
+    "make_executor",
+}
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _is_executor_receiver(node: ast.expr) -> bool:
+    """Heuristic: does this expression look like an executor object?"""
+    name = _terminal_name(node)
+    if name and any(tok in name.lower() for tok in _RECEIVER_TOKENS):
+        return True
+    if isinstance(node, ast.Call):
+        ctor = _terminal_name(node.func)
+        return ctor in _CONSTRUCTORS
+    return False
+
+
+def _collect_defs(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """(module-level function names, nested function names)."""
+    top: set[str] = set()
+    nested: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            top.add(node.name)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for sub in ast.walk(node):
+                if (
+                    sub is not node
+                    and isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef))
+                ):
+                    nested.add(sub.name)
+    return top, nested
+
+
+@register
+class PickleSafetyRule(Rule):
+    rule_id = "REP003"
+    slug = "unpicklable-task"
+    summary = (
+        "callables handed to Executor.map/map_outcomes/submit must be "
+        "module-level functions (process-pool pickle safety)"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        top_defs, nested_defs = _collect_defs(module.tree)
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _METHODS
+                and node.args
+                and _is_executor_receiver(node.func.value)
+            ):
+                continue
+            fn = node.args[0]
+            problem: str | None = None
+            if isinstance(fn, ast.Lambda):
+                problem = "a lambda"
+            elif isinstance(fn, ast.Name):
+                if fn.id in nested_defs and fn.id not in top_defs:
+                    problem = f"the nested function {fn.id!r} (a closure)"
+            elif isinstance(fn, ast.Attribute):
+                # self.method / obj.method: a bound method dragging its
+                # instance through pickle.  Module attributes
+                # (module.function) are fine but indistinguishable from
+                # instance attributes only via the receiver name; flag
+                # self/cls receivers, the unambiguous case.
+                base = fn.value
+                if isinstance(base, ast.Name) and base.id in {"self", "cls"}:
+                    problem = f"the bound method {base.id}.{fn.attr}"
+            if problem:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{node.func.attr}() given {problem}; process pools "
+                    "require picklable module-level functions",
+                    hint=(
+                        "hoist the callable to module level and pass "
+                        "per-item state through the items list"
+                    ),
+                )

@@ -1,0 +1,113 @@
+"""CLI entry point for ``repro lint`` — argument handling and reports.
+
+Kept separate from :mod:`repro.cli` so the analyzer is importable and
+testable without argparse, and separate from the engine so output
+formatting never leaks into rule logic.
+
+Exit codes (stable contract, relied on by ``make lint`` and CI):
+
+* ``0`` — clean (no findings beyond the baseline)
+* ``1`` — new findings reported
+* ``2`` — internal error (bad rule id, unreadable/unparseable file,
+  malformed baseline)
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import Linter, LintResult
+from repro.lint.registry import LintConfigError, resolve_rules
+
+__all__ = ["run_lint", "format_text", "format_json"]
+
+
+def format_text(result: LintResult, *, verbose: bool = False) -> str:
+    lines = [f.format_text() for f in result.findings]
+    for err in result.internal_errors:
+        lines.append(f"internal error: {err}")
+    n = len(result.findings)
+    summary = (
+        f"{result.files_checked} file(s) checked: "
+        + ("clean" if n == 0 else f"{n} finding(s)")
+    )
+    if result.baselined:
+        summary += f", {len(result.baselined)} baselined"
+    lines.append(summary)
+    if verbose and result.baselined:
+        lines.append("baselined findings:")
+        lines.extend("  " + f.format_text() for f in result.baselined)
+    return "\n".join(lines)
+
+
+def format_json(result: LintResult) -> str:
+    return json.dumps(
+        {
+            "files_checked": result.files_checked,
+            "findings": [f.to_dict() for f in result.findings],
+            "baselined": [f.to_dict() for f in result.baselined],
+            "internal_errors": result.internal_errors,
+            "exit_code": result.exit_code(),
+        },
+        indent=2,
+    )
+
+
+def _parse_rule_list(raw: str | None) -> list[str] | None:
+    if not raw:
+        return None
+    return [part.strip().upper() for part in raw.split(",") if part.strip()]
+
+
+def run_lint(
+    paths: list[str],
+    *,
+    fmt: str = "text",
+    baseline_path: str | None = None,
+    update_baseline: bool = False,
+    select: str | None = None,
+    ignore: str | None = None,
+    verbose: bool = False,
+    out=None,
+) -> int:
+    """Run the analyzer; print a report; return the process exit code."""
+    out = out if out is not None else sys.stdout
+    try:
+        rules = resolve_rules(
+            select=_parse_rule_list(select), ignore=_parse_rule_list(ignore)
+        )
+        baseline = None
+        if baseline_path is not None and not update_baseline:
+            if Path(baseline_path).exists():
+                baseline = Baseline.load(Path(baseline_path))
+            # A missing baseline file with --update-baseline pending is
+            # fine; a missing one passed explicitly for reading is too —
+            # the first run simply reports everything, then --update-
+            # baseline materialises the file.
+        linter = Linter(rules=rules, baseline=baseline)
+        result = linter.run([Path(p) for p in paths])
+    except LintConfigError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if update_baseline:
+        if result.internal_errors:
+            print(format_text(result), file=out)
+            return 2
+        target = Path(baseline_path or "lint-baseline.json")
+        # The new baseline captures everything currently firing
+        # (including previously-baselined findings when re-ratcheting).
+        Baseline.from_findings(result.findings + result.baselined).save(target)
+        print(
+            f"baseline written: {target} "
+            f"({len(result.findings) + len(result.baselined)} finding(s))",
+            file=out,
+        )
+        return 0
+
+    print(format_json(result) if fmt == "json" else
+          format_text(result, verbose=verbose), file=out)
+    return result.exit_code()

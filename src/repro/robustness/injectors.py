@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from types import MappingProxyType
 
 __all__ = [
     "FaultCase",
@@ -102,14 +103,16 @@ def splice_members(data: bytes, rng: random.Random, max_garbage: int = 32) -> by
     return data + garbage + data
 
 
-INJECTORS = {
+# Read-only view: this module is imported on both sides of the process
+# boundary, so the registry must be identical under fork and spawn.
+INJECTORS = MappingProxyType({
     "flip_bit": flip_bit,
     "corrupt_bytes": corrupt_bytes,
     "truncate": truncate,
     "tamper_trailer": tamper_trailer,
     "mangle_header": mangle_header,
     "splice_members": splice_members,
-}
+})
 
 INJECTOR_NAMES = tuple(INJECTORS)
 

@@ -1,0 +1,155 @@
+"""CLI contract tests: exit codes, formats, baseline round-trip.
+
+The ``repro lint`` subcommand promises a stable interface to CI:
+exit 0 clean / 1 findings / 2 internal error, ``--format text|json``,
+and a create -> re-run-clean -> new-finding-breaks baseline ratchet.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint import Baseline
+from repro.lint.findings import Finding
+
+pytestmark = pytest.mark.lint
+
+CLEAN = (
+    "from repro.errors import SyncError\n"
+    "def f():\n"
+    "    raise SyncError('no block found', stage='sync')\n"
+)
+ONE_FINDING = (
+    "from repro.errors import SyncError\n"
+    "def f():\n"
+    "    raise SyncError('no block found')\n"
+)
+TWO_FINDINGS = ONE_FINDING + (
+    "def g():\n"
+    "    raise SyncError('still none')\n"
+)
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    """A tiny repro-shaped package tree the CLI can lint."""
+    pkg = tmp_path / "repro" / "somemod"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("__all__ = []\n")
+    return pkg
+
+
+class TestExitCodes:
+    def test_exit_zero_on_clean(self, tree, capsys):
+        (tree / "mod.py").write_text(CLEAN)
+        assert main(["lint", str(tree)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, tree, capsys):
+        (tree / "mod.py").write_text(ONE_FINDING)
+        assert main(["lint", str(tree)]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out and "mod.py:3" in out
+
+    def test_exit_two_on_syntax_error(self, tree, capsys):
+        (tree / "mod.py").write_text("def broken(:\n")
+        assert main(["lint", str(tree)]) == 2
+        assert "internal error" in capsys.readouterr().out
+
+    def test_exit_two_on_unknown_rule(self, tree, capsys):
+        (tree / "mod.py").write_text(CLEAN)
+        assert main(["lint", str(tree), "--select", "REP999"]) == 2
+
+    def test_exit_two_on_missing_input(self, tmp_path):
+        assert main(["lint", str(tmp_path / "nowhere")]) == 2
+
+
+class TestFormats:
+    def test_json_format_is_machine_readable(self, tree, capsys):
+        (tree / "mod.py").write_text(ONE_FINDING)
+        assert main(["lint", str(tree), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "REP001"
+        assert finding["line"] == 3
+        assert finding["fingerprint"]
+
+    def test_select_and_ignore(self, tree, capsys):
+        (tree / "mod.py").write_text(ONE_FINDING)
+        assert main(["lint", str(tree), "--select", "REP002"]) == 0
+        assert main(["lint", str(tree), "--ignore", "REP001"]) == 0
+        assert main(["lint", str(tree), "--select", "rep001"]) == 1  # case folded
+
+
+class TestBaselineWorkflow:
+    def test_create_then_clean_then_new_finding_breaks(self, tree, capsys):
+        mod = tree / "mod.py"
+        mod.write_text(ONE_FINDING)
+        baseline = tree.parent / "baseline.json"
+
+        # create
+        assert main(["lint", str(tree), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        assert baseline.exists()
+
+        # re-run: the known finding is suppressed
+        assert main(["lint", str(tree), "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+        # a NEW violation (second raise site) still fails the run
+        mod.write_text(TWO_FINDINGS)
+        assert main(["lint", str(tree), "--baseline", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "mod.py:5" in out and "1 baselined" in out
+
+    def test_baselined_findings_survive_line_drift(self, tree):
+        mod = tree / "mod.py"
+        mod.write_text(ONE_FINDING)
+        baseline = tree.parent / "baseline.json"
+        assert main(["lint", str(tree), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        # Push the violation down ten lines: fingerprints are
+        # line-insensitive, so the baseline still matches.
+        mod.write_text("# pad\n" * 10 + ONE_FINDING)
+        assert main(["lint", str(tree), "--baseline", str(baseline)]) == 0
+
+    def test_fixing_a_finding_keeps_run_green(self, tree):
+        mod = tree / "mod.py"
+        mod.write_text(ONE_FINDING)
+        baseline = tree.parent / "baseline.json"
+        assert main(["lint", str(tree), "--baseline", str(baseline),
+                     "--update-baseline"]) == 0
+        mod.write_text(CLEAN)
+        assert main(["lint", str(tree), "--baseline", str(baseline)]) == 0
+
+    def test_malformed_baseline_is_internal_error(self, tree, capsys):
+        (tree / "mod.py").write_text(CLEAN)
+        baseline = tree.parent / "baseline.json"
+        baseline.write_text("{not json")
+        assert main(["lint", str(tree), "--baseline", str(baseline)]) == 2
+
+
+class TestBaselineUnit:
+    def _finding(self, message="m", path="p.py", line=1):
+        return Finding(rule_id="REP001", slug="no-stage", path=path,
+                       line=line, col=0, message=message)
+
+    def test_round_trip(self, tmp_path):
+        findings = [self._finding(), self._finding(line=9),
+                    self._finding(message="other")]
+        Baseline.from_findings(findings).save(tmp_path / "b.json")
+        loaded = Baseline.load(tmp_path / "b.json")
+        new, old = loaded.split(findings)
+        assert new == [] and len(old) == 3
+
+    def test_count_ratchet(self, tmp_path):
+        # Two identical findings baselined; a third duplicate is new.
+        base = Baseline.from_findings([self._finding(), self._finding(line=5)])
+        new, old = base.split(
+            [self._finding(), self._finding(line=5), self._finding(line=9)]
+        )
+        assert len(old) == 2 and len(new) == 1
