@@ -14,7 +14,7 @@ test:
 fuzz:
 	pytest tests/robustness -q -m robustness
 
-# AST-based invariant checker (REP001-REP008, docs/STATIC_ANALYSIS.md).
+# AST + dataflow invariant checker (REP001-REP012, docs/STATIC_ANALYSIS.md).
 # Exit 0 clean / 1 findings / 2 internal error; the shipped baseline is
 # empty, so any finding is a regression.
 lint:

@@ -283,7 +283,14 @@ def _cmd_fuzz(args) -> int:
 
 def _cmd_lint(args) -> int:
     from repro.lint import run_lint
+    from repro.lint.runner import explain_rule
 
+    if args.explain:
+        return explain_rule(args.explain)
+    if not args.paths:
+        print("repro lint: no paths given (or use --explain REPxxx)",
+              file=sys.stderr)
+        return 2
     return run_lint(
         args.paths,
         fmt=args.format,
@@ -432,12 +439,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     lnt = sub.add_parser(
         "lint",
-        help="AST-based invariant checker (REP001-REP008)",
+        help="AST + dataflow invariant checker (REP001-REP012)",
         description="Enforce the codebase's decode-safety, error-context "
-                    "and parallelism contracts. Exit 0 clean, 1 findings, "
-                    "2 internal error.",
+                    "and parallelism contracts, plus flow-sensitive "
+                    "bit/byte-unit and taint rules. Exit 0 clean, "
+                    "1 findings, 2 internal error.",
     )
-    lnt.add_argument("paths", nargs="+", help="files or directories to check")
+    lnt.add_argument("paths", nargs="*", help="files or directories to check")
     lnt.add_argument("--format", choices=("text", "json"), default="text")
     lnt.add_argument("--baseline", default=None,
                      help="baseline JSON: suppress known findings (ratchet)")
@@ -449,6 +457,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma-separated rule ids to skip")
     lnt.add_argument("-v", "--verbose", action="store_true",
                      help="also list baselined findings")
+    lnt.add_argument("--explain", metavar="REPxxx", default=None,
+                     help="print one rule's doc, example violation and "
+                          "pragma slug, then exit")
     lnt.set_defaults(func=_cmd_lint)
 
     b = sub.add_parser("bgzf", help="blocked gzip (BGZF) operations (ref [12])")

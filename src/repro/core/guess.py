@@ -33,6 +33,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.marker import MARKER_BASE
+from repro.units import ByteOffset
 
 __all__ = ["GuessReport", "classify_marker_contexts", "guess_markers"]
 
@@ -54,7 +55,7 @@ class GuessReport:
     contradictions: int
 
 
-def _line_type_of_run(symbols: np.ndarray, pos: int) -> str:
+def _line_type_of_run(symbols: np.ndarray, pos: ByteOffset) -> str:
     """Classify the line containing ``pos``: dna / quality / other.
 
     Scans to the nearest newlines (bounded) and votes on the concrete
@@ -163,7 +164,7 @@ def _train_header_columns(symbols: np.ndarray) -> list[Counter]:
     return columns
 
 
-def _header_line_start(symbols: np.ndarray, pos: int) -> int | None:
+def _header_line_start(symbols: np.ndarray, pos: ByteOffset) -> ByteOffset | None:
     """Start index of the header line containing ``pos`` (or None).
 
     Accepts lines whose leading '@' is itself undetermined, using the

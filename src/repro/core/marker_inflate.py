@@ -32,6 +32,7 @@ from repro.deflate import constants as C
 from repro.deflate.bitio import BitReader
 from repro.deflate.inflate import BlockInfo, read_block_header
 from repro.errors import BitstreamError, HuffmanError, BackrefError
+from repro.units import BitOffset
 
 __all__ = ["MarkerInflateResult", "marker_inflate"]
 
@@ -43,7 +44,7 @@ class MarkerInflateResult:
     #: Full symbol stream (``None`` in streaming mode).
     symbols: np.ndarray | None
     #: Bit position just past the last decoded block.
-    end_bit: int
+    end_bit: BitOffset
     #: True if a BFINAL=1 block was decoded.
     final_seen: bool
     #: True if decoding stopped because of ``max_output``.
@@ -79,14 +80,14 @@ def _seed_window(window) -> list[int]:
 
 def marker_inflate(
     data,
-    start_bit: int = 0,
+    start_bit: BitOffset = BitOffset(0),
     window=None,
     *,
     sink=None,
     flush_symbols: int = 1 << 20,
     max_output: int | None = None,
     max_blocks: int | None = None,
-    stop_bit: int | None = None,
+    stop_bit: BitOffset | None = None,
     stop_at_final: bool = True,
 ) -> MarkerInflateResult:
     """Decompress a DEFLATE stream into the marker symbol domain.

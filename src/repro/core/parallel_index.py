@@ -17,6 +17,7 @@ from repro.deflate.gzipfmt import parse_gzip_header
 from repro.errors import ReproError
 from repro.index.zran import Checkpoint, GzipIndex
 from repro.parallel.executor import Executor
+from repro.units import ByteOffset
 
 __all__ = ["pugz_build_index"]
 
@@ -45,7 +46,7 @@ def pugz_build_index(
     payload_start, *_ = parse_gzip_header(gz_data, 0)
 
     checkpoints = [Checkpoint(bit_offset=8 * payload_start, uoffset=0, window=b"")]
-    uoffset = 0
+    uoffset: ByteOffset = ByteOffset(0)
     for chunk, size in zip(report.chunks, report.chunk_output_sizes):
         if chunk.index == 0:
             uoffset += size

@@ -64,6 +64,7 @@ from repro.deflate.gzipfmt import parse_gzip_header
 from repro.deflate.inflate import inflate
 from repro.errors import GzipFormatError, ReproError, annotate
 from repro.parallel.executor import Executor, make_executor
+from repro.units import BitOffset, ByteOffset
 
 __all__ = ["PugzHole", "PugzReport", "pugz_decompress", "pugz_decompress_payload"]
 
@@ -81,18 +82,18 @@ class PugzHole:
     """
 
     chunk_index: int
-    start_bit: int
-    end_bit: int
+    start_bit: BitOffset
+    end_bit: BitOffset
     #: Message of the error that opened the hole.
     error: str
 
     @property
-    def start_byte(self) -> int:
-        return self.start_bit >> 3
+    def start_byte(self) -> ByteOffset:
+        return ByteOffset(self.start_bit >> 3)
 
     @property
-    def end_byte(self) -> int:
-        return (self.end_bit + 7) >> 3
+    def end_byte(self) -> ByteOffset:
+        return ByteOffset((self.end_bit + 7) >> 3)
 
     def to_dict(self) -> dict:
         return {
@@ -228,7 +229,7 @@ def _pass2_chunk(args) -> tuple[bytes, int]:
     return translate_chunk_counted(symbols, context, placeholder=placeholder)
 
 
-def _decode_chunk_prefix(data, start_bit: int, stop_bit: int | None):
+def _decode_chunk_prefix(data, start_bit: BitOffset, stop_bit: BitOffset | None):
     """Marker-decode block by block from ``start_bit`` until the first
     failure (or the chunk boundary / BFINAL block).
 

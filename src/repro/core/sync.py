@@ -26,11 +26,12 @@ from dataclasses import dataclass
 
 from repro.deflate.inflate import inflate
 from repro.errors import DeflateError, SyncError
+from repro.units import BitOffset
 
 __all__ = ["SyncResult", "find_block_start", "probe_block", "prescreen"]
 
 
-def prescreen(data: bytes, bit: int) -> bool:
+def prescreen(data: bytes, bit: BitOffset) -> bool:
     """Cheap header screen before the full strict decode of a candidate.
 
     Implements the paper's "fail early and as quickly as possible" with
@@ -81,7 +82,7 @@ class SyncResult:
     """A confirmed block start."""
 
     #: Absolute bit offset of the confirmed block header.
-    bit_offset: int
+    bit_offset: BitOffset
     #: Number of candidate bit offsets tried (including the winner).
     candidates_tried: int
     #: Blocks decoded to confirm the winner.
@@ -90,7 +91,7 @@ class SyncResult:
     elapsed: float
 
 
-def probe_block(data, bit_offset: int, confirm_blocks: int = 5) -> bool:
+def probe_block(data, bit_offset: BitOffset, confirm_blocks: int = 5) -> bool:
     """Check whether a DEFLATE block plausibly starts at ``bit_offset``.
 
     Decodes up to ``1 + confirm_blocks`` blocks in strict mode; any
@@ -110,11 +111,11 @@ def probe_block(data, bit_offset: int, confirm_blocks: int = 5) -> bool:
 
 def find_block_start(
     data,
-    start_bit: int = 0,
+    start_bit: BitOffset = BitOffset(0),
     *,
     confirm_blocks: int = 5,
     max_search_bits: int | None = None,
-    end_bit: int | None = None,
+    end_bit: BitOffset | None = None,
 ) -> SyncResult:
     """Find the first confirmed DEFLATE block start at/after ``start_bit``.
 

@@ -25,6 +25,7 @@ Performance notes (this is the innermost layer of a pure-Python inflate):
 from __future__ import annotations
 
 from repro.errors import BitstreamError
+from repro.units import BitOffset
 
 __all__ = ["BitReader", "BitWriter", "reverse_bits"]
 
@@ -57,7 +58,7 @@ class BitReader:
 
     __slots__ = ("_data", "_nbytes", "_pos", "_bitbuf", "_bitcount", "_total_bits")
 
-    def __init__(self, data, start_bit: int = 0) -> None:
+    def __init__(self, data, start_bit: BitOffset = BitOffset(0)) -> None:
         if isinstance(data, memoryview):
             data = data.tobytes()
         self._data = data
@@ -82,15 +83,15 @@ class BitReader:
     # -- position ----------------------------------------------------------
 
     @property
-    def total_bits(self) -> int:
+    def total_bits(self) -> BitOffset:
         """Total number of bits in the underlying buffer."""
         return self._total_bits
 
-    def tell_bits(self) -> int:
+    def tell_bits(self) -> BitOffset:
         """Absolute bit position of the next unread bit."""
-        return 8 * self._pos - self._bitcount
+        return BitOffset(8 * self._pos - self._bitcount)
 
-    def bits_remaining(self) -> int:
+    def bits_remaining(self) -> BitOffset:
         """Number of bits between the cursor and the end of the buffer."""
         return self._total_bits - self.tell_bits()
 
@@ -181,7 +182,7 @@ class BitReader:
         self._bitcount = 0
         return bytes(out)
 
-    def seek_bits(self, bit_offset: int) -> None:
+    def seek_bits(self, bit_offset: BitOffset) -> None:
         """Reposition the cursor at an absolute bit offset."""
         if bit_offset < 0 or bit_offset > self._total_bits:
             raise BitstreamError(
@@ -235,9 +236,9 @@ class BitWriter:
             raise ValueError("write_bytes requires byte alignment")
         self._out += data
 
-    def tell_bits(self) -> int:
+    def tell_bits(self) -> BitOffset:
         """Number of bits written so far."""
-        return 8 * len(self._out) + self._bitcount
+        return BitOffset(8 * len(self._out) + self._bitcount)
 
     def getvalue(self) -> bytes:
         """Return the written stream, zero-padding the final partial byte."""

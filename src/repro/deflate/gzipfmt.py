@@ -16,6 +16,7 @@ from repro.deflate.adler import adler32
 from repro.deflate.crc32 import crc32
 from repro.deflate.inflate import InflateResult, inflate
 from repro.errors import GzipFormatError
+from repro.units import BitOffset, ByteOffset
 
 __all__ = [
     "GzipMember",
@@ -58,12 +59,12 @@ class GzipMember:
     comment: bytes | None = None
 
     @property
-    def payload_start_bit(self) -> int:
+    def payload_start_bit(self) -> BitOffset:
         """Bit offset of the first DEFLATE block header."""
-        return 8 * self.payload_start
+        return BitOffset(8 * self.payload_start)
 
 
-def parse_gzip_header(data: bytes, offset: int = 0) -> tuple[int, int, int, bytes | None, bytes | None]:
+def parse_gzip_header(data: bytes, offset: ByteOffset = ByteOffset(0)) -> tuple[int, int, int, bytes | None, bytes | None]:
     """Parse one gzip member header at ``offset``.
 
     Returns ``(payload_start, flags, mtime, filename, comment)``.
@@ -165,7 +166,7 @@ def gzip_wrap(
     return header + deflate_payload + trailer
 
 
-def member_payload(data: bytes, offset: int = 0) -> GzipMember:
+def member_payload(data: bytes, offset: ByteOffset = ByteOffset(0)) -> GzipMember:
     """Locate the DEFLATE payload of the member starting at ``offset``.
 
     Decodes the member's blocks (without keeping the output) to find the

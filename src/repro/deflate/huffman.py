@@ -132,7 +132,7 @@ class HuffmanDecoder:
 
     def decode(self, reader: BitReader) -> int:
         """Decode one symbol from ``reader``."""
-        entry = self.table[reader.peek(self.max_bits)]
+        entry = self.table[reader.peek(self.max_bits)]  # lint: allow-unvalidated-decode(peek masks to max_bits bits and table has exactly 1<<max_bits entries)
         length = entry & 15
         if length == 0:
             raise HuffmanError("invalid Huffman code in stream", stage="huffman")

@@ -24,6 +24,7 @@ from repro.deflate import constants as C
 from repro.deflate.bitio import BitReader
 from repro.deflate.huffman import HuffmanDecoder
 from repro.deflate.tokens import TokenStream
+from repro.units import BitOffset, ByteOffset
 from repro.errors import (
     AsciiCheckError,
     BackrefError,
@@ -66,10 +67,10 @@ class BlockHeader:
 class BlockInfo:
     """Where a block sits in the compressed and decompressed streams."""
 
-    start_bit: int
-    end_bit: int
-    out_start: int
-    out_end: int
+    start_bit: BitOffset
+    end_bit: BitOffset
+    out_start: ByteOffset
+    out_end: ByteOffset
     btype: int
     bfinal: bool
 
@@ -79,7 +80,7 @@ class InflateResult:
     """Output of :func:`inflate`."""
 
     data: bytes
-    end_bit: int
+    end_bit: BitOffset
     final_seen: bool
     blocks: list[BlockInfo] = field(default_factory=list)
     tokens: TokenStream | None = None
@@ -227,7 +228,7 @@ def read_block_header(reader: BitReader, strict: bool = False) -> BlockHeader:
 
 def inflate(
     data,
-    start_bit: int = 0,
+    start_bit: BitOffset = BitOffset(0),
     window: bytes = b"",
     strict: bool = False,
     capture_tokens: bool = False,
@@ -505,6 +506,6 @@ def _decode_huffman_block(
             )
 
 
-def inflate_bytes(data, start_bit: int = 0, window: bytes = b"") -> bytes:
+def inflate_bytes(data, start_bit: BitOffset = BitOffset(0), window: bytes = b"") -> bytes:
     """Convenience wrapper: decompress and return only the bytes."""
     return inflate(data, start_bit=start_bit, window=window).data

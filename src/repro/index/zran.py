@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.deflate.gzipfmt import parse_gzip_header
 from repro.deflate.inflate import inflate
 from repro.errors import GzipFormatError, RandomAccessError
+from repro.units import BitOffset, ByteOffset
 
 __all__ = ["Checkpoint", "GzipIndex", "build_index"]
 
@@ -31,9 +32,9 @@ class Checkpoint:
     """One random-access entry point into the DEFLATE stream."""
 
     #: Bit offset of a block header in the compressed stream.
-    bit_offset: int
+    bit_offset: BitOffset
     #: Uncompressed offset the block starts at.
-    uoffset: int
+    uoffset: ByteOffset
     #: The 32 KiB of uncompressed data preceding ``uoffset``.
     window: bytes
 
@@ -46,7 +47,7 @@ class GzipIndex:
     usize: int
     span: int
 
-    def nearest(self, uoffset: int) -> Checkpoint:
+    def nearest(self, uoffset: ByteOffset) -> Checkpoint:
         """Last checkpoint at or before ``uoffset``."""
         if not 0 <= uoffset < self.usize:
             raise RandomAccessError(
@@ -61,7 +62,7 @@ class GzipIndex:
                 break
         return best
 
-    def read_at(self, gz_data: bytes, uoffset: int, size: int) -> bytes:
+    def read_at(self, gz_data: bytes, uoffset: ByteOffset, size: int) -> bytes:
         """Extract ``size`` uncompressed bytes starting at ``uoffset``."""
         if size < 0:
             raise ValueError("size must be non-negative")

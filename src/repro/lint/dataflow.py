@@ -1,0 +1,125 @@
+"""Forward worklist dataflow solver over :mod:`repro.lint.cfg` graphs.
+
+A tiny, rule-agnostic fixpoint engine: an analysis supplies the initial
+environment, a per-statement transfer function and (optionally) an edge
+refinement, and :func:`solve` returns the environment holding at entry
+to every basic block.
+
+Environments map variable names to abstract values.  The solver knows
+nothing about the value domain beyond ``join_values``: lattices are
+expected to be small and finite (units, taint flags), so plain
+iteration to fixpoint terminates without widening — each variable can
+only climb its lattice a bounded number of times, and the join is
+monotone by contract.
+
+A variable missing from an environment means "no information"; joins
+pass ``None`` for the missing side and the analysis decides (for the
+bug-finding lattices here, information survives a join against a path
+that never touched the variable — we prefer catching the bug on the
+path that creates it over proving facts on all paths).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict
+
+from repro.lint.cfg import CFG
+
+__all__ = ["Env", "ForwardAnalysis", "solve", "transfer_block"]
+
+Env = Dict[str, Any]
+
+#: Safety valve for pathological graphs; far above any real function.
+_MAX_ITERATIONS = 100_000
+
+
+class ForwardAnalysis:
+    """Interface a dataflow rule implements.
+
+    Subclasses override the three hooks below.  ``transfer_stmt`` and
+    ``refine_edge`` mutate the environment in place (the solver hands
+    them a private copy).
+    """
+
+    def initial_env(self) -> Env:
+        """Environment at function entry (e.g. parameter seeds)."""
+        return {}
+
+    def transfer_stmt(self, stmt: ast.stmt, env: Env) -> None:
+        """Apply one statement's effect to ``env``."""
+
+    def refine_edge(self, test: ast.expr, label: str, env: Env) -> None:
+        """Refine ``env`` along a conditional edge.
+
+        ``test`` is the branch condition of the source block, ``label``
+        is ``"true"`` or ``"false"``.  Default: no refinement.
+        """
+
+    def join_values(self, a: Any, b: Any) -> Any:
+        """Join two abstract values; either side may be ``None`` (no info)."""
+        if a == b:
+            return a
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return None
+
+
+def _join_envs(analysis: ForwardAnalysis, dst: Env | None, src: Env) -> tuple[Env, bool]:
+    """``dst ∨ src``; returns (joined, changed-relative-to-dst)."""
+    if dst is None:
+        return dict(src), True
+    out = dict(dst)
+    changed = False
+    for name in set(dst) | set(src):
+        joined = analysis.join_values(dst.get(name), src.get(name))
+        if joined is None:
+            if name in out:
+                del out[name]
+                changed = True
+        elif out.get(name) != joined:
+            out[name] = joined
+            changed = True
+    return out, changed
+
+
+def transfer_block(analysis: ForwardAnalysis, block, env: Env) -> Env:
+    """Push ``env`` through every statement of ``block`` (fresh copy)."""
+    env = dict(env)
+    for stmt in block.stmts:
+        analysis.transfer_stmt(stmt, env)
+    return env
+
+
+def solve(cfg: CFG, analysis: ForwardAnalysis) -> dict[int, Env]:
+    """Fixpoint: environment at *entry* of each block.
+
+    Blocks never reached from the entry (dead code) keep an empty
+    environment — rules still scan them for sinks, falling back to
+    their name/annotation seeds.
+    """
+    envs_in: dict[int, Env] = {cfg.entry: analysis.initial_env()}
+    worklist: list[int] = [cfg.entry]
+    iterations = 0
+    while worklist:
+        iterations += 1
+        if iterations > _MAX_ITERATIONS:  # pragma: no cover - safety valve
+            break
+        bid = worklist.pop()
+        block = cfg.block(bid)
+        env_out = transfer_block(analysis, block, envs_in.get(bid, {}))
+        for succ, label in block.succs:
+            edge_env = env_out
+            if block.test is not None and label in ("true", "false"):
+                edge_env = dict(env_out)
+                analysis.refine_edge(block.test, label, edge_env)
+            joined, changed = _join_envs(analysis, envs_in.get(succ), edge_env)
+            if changed:
+                envs_in[succ] = joined
+                if succ not in worklist:
+                    worklist.append(succ)
+    for bid in cfg.blocks:
+        envs_in.setdefault(bid, {})
+    return envs_in

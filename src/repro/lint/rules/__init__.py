@@ -8,10 +8,14 @@ from repro.lint.rules.context import ErrorContextRule
 from repro.lint.rules.defaults import MutableDefaultRule
 from repro.lint.rules.excepts import BroadExceptRule
 from repro.lint.rules.exports import ExportSyncRule
+from repro.lint.rules.marker_escape import MarkerEscapeRule
 from repro.lint.rules.masking import UnmaskedWidthRule
 from repro.lint.rules.modstate import ModuleStateRule
 from repro.lint.rules.pickle_safety import PickleSafetyRule
+from repro.lint.rules.pragma_reason import PragmaReasonRule
 from repro.lint.rules.randomness import UnseededRandomnessRule
+from repro.lint.rules.unit_confusion import UnitConfusionRule
+from repro.lint.rules.unvalidated_decode import UnvalidatedDecodeRule
 
 __all__ = [
     "ErrorContextRule",
@@ -22,4 +26,8 @@ __all__ = [
     "ModuleStateRule",
     "PickleSafetyRule",
     "UnseededRandomnessRule",
+    "UnitConfusionRule",
+    "UnvalidatedDecodeRule",
+    "MarkerEscapeRule",
+    "PragmaReasonRule",
 ]

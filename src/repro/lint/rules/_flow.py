@@ -1,0 +1,86 @@
+"""Shared driver for the flow-sensitive rules (REP009–REP011).
+
+Each dataflow rule pairs a :class:`repro.lint.dataflow.ForwardAnalysis`
+(the transfer functions) with a sink checker.  The driver owns the
+orchestration every such rule repeats:
+
+1. enumerate analysis units — every function/method body plus the
+   module top level (nested ``def`` bodies are separate units);
+2. build the CFG and solve the analysis to a fixpoint;
+3. replay each basic block from its entry environment, calling the
+   checker on every statement *before* applying its transfer (a sink
+   in ``x = f(x)`` must see the pre-assignment binding of ``x``), and
+   on the block's branch test after the last statement.
+
+The checker contract is :meth:`FlowAnalysis.check_stmt` /
+:meth:`FlowAnalysis.check_test` yielding ``(node, message, hint)``
+triples; the driver converts them into findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.cfg import build_cfg
+from repro.lint.dataflow import Env, ForwardAnalysis, solve
+from repro.lint.findings import Finding
+from repro.lint.module import ModuleInfo
+from repro.lint.registry import Rule
+
+__all__ = ["FlowAnalysis", "FlowRule", "iter_analysis_units", "walk_own_expressions"]
+
+
+class FlowAnalysis(ForwardAnalysis):
+    """A dataflow analysis that can also report sinks."""
+
+    def check_stmt(self, stmt: ast.stmt, env: Env) -> Iterator[tuple[ast.AST, str, str]]:
+        return iter(())
+
+    def check_test(self, test: ast.expr, env: Env) -> Iterator[tuple[ast.AST, str, str]]:
+        return iter(())
+
+
+def iter_analysis_units(tree: ast.Module):
+    """Yield ``(function-or-None, body)`` for every analysis unit."""
+    yield None, tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body
+
+
+def walk_own_expressions(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """Every AST node in the statement's own expressions (shallow)."""
+    from repro.lint.cfg import stmt_expressions
+
+    for expr in stmt_expressions(stmt):
+        yield from ast.walk(expr)
+
+
+class FlowRule(Rule):
+    """Base class: run a :class:`FlowAnalysis` over every unit."""
+
+    def make_analysis(
+        self, module: ModuleInfo, func: ast.FunctionDef | None
+    ) -> FlowAnalysis:
+        raise NotImplementedError
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return True
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not self.applies_to(module):
+            return
+        for func, body in iter_analysis_units(module.tree):
+            analysis = self.make_analysis(module, func)
+            cfg = build_cfg(body)
+            envs_in = solve(cfg, analysis)
+            for block in cfg:
+                env = dict(envs_in.get(block.bid, {}))
+                for stmt in block.stmts:
+                    for node, message, hint in analysis.check_stmt(stmt, env):
+                        yield self.finding(module, node, message, hint=hint)
+                    analysis.transfer_stmt(stmt, env)
+                if block.test is not None:
+                    for node, message, hint in analysis.check_test(block.test, env):
+                        yield self.finding(module, node, message, hint=hint)

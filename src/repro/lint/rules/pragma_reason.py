@@ -1,0 +1,72 @@
+"""REP012 — suppression pragmas must carry a non-empty reason.
+
+``# lint: allow-<slug>()`` never suppressed anything (the engine
+requires :attr:`~repro.lint.pragmas.Pragma.valid`), but until now it
+failed *silently*: the author believed the finding was waived while the
+linter kept reporting it — or worse, the underlying finding had been
+fixed meanwhile and the stale empty pragma lingered as dead weight.
+This rule turns every empty-reason pragma into its own finding, so the
+contract "every exemption is self-documenting" is enforced rather than
+implied.
+
+Escape hatch: none on purpose — write the reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.module import ModuleInfo
+from repro.lint.registry import Rule, register
+
+__all__ = ["PragmaReasonRule"]
+
+
+class _Anchor(ast.AST):
+    """Location-only stand-in: pragmas live on lines, not AST nodes."""
+
+    def __init__(self, line: int, col: int) -> None:
+        super().__init__()
+        self.lineno = line
+        self.col_offset = col
+
+
+@register
+class PragmaReasonRule(Rule):
+    rule_id = "REP012"
+    slug = "pragma-reason"
+    summary = (
+        "suppression pragmas need a non-empty reason: "
+        "allow-<slug>() is a finding, not a waiver"
+    )
+    # The examples are assembled from fragments so the pragma scanner —
+    # which matches physical source lines — does not see them as real
+    # pragmas inside this very file.
+    example_bad = (
+        "except Exception:  # lint"
+        ": allow-broad-except()\n"
+        "    pass\n"
+    )
+    example_good = (
+        "except Exception:  # lint"
+        ": allow-broad-except(fault campaign isolates every failure class)\n"
+        "    pass\n"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for line, pragmas in sorted(module.pragmas.items()):
+            for pragma in pragmas:
+                if pragma.valid:
+                    continue
+                yield self.finding(
+                    module,
+                    _Anchor(line, 0),
+                    f"empty reason in 'allow-{pragma.slug}()' — this "
+                    "pragma suppresses nothing",
+                    hint=(
+                        "state why the finding is acceptable: "
+                        f"# lint: allow-{pragma.slug}(<reason>)"
+                    ),
+                )

@@ -1,0 +1,278 @@
+"""REP010 — decoded bit values must be bounds-checked before risky use.
+
+Every value produced by ``BitReader.read()``/``peek()`` (or a
+``read_bits``/``peek_bits`` helper) comes straight from attacker- or
+corruption-controlled input: the fault-injection campaign (PR 1) showed
+that unchecked decode values turn flipped bits into hangs and
+memory blow-ups instead of clean :class:`~repro.errors.DeflateError`
+failures.  This rule is the static complement of that campaign: it
+taints raw decode results and reports them reaching a sink that
+amplifies a bad value, unless a bounds check dominates the use:
+
+* shift amounts — ``1 << v`` allocates unbounded big-ints;
+* plain list/table indexing — ``table[v]`` (slices clamp in Python and
+  are deliberately *not* sinks);
+* allocation sizes — ``bytes(v)``, ``bytearray(v)``, ``seq * v``.
+
+Sanitizers clear the taint: a mask (``v & 0x1F``), a modulo, a
+``min()``/``max()`` against a bound, or a *dominating* comparison — any
+branch whose test compares ``v`` marks it validated on both arms (the
+guard idiom here is ``if v > LIMIT: raise``; accepting every comparison
+as a bounds check is a documented imprecision, favouring silence over
+noise).
+
+Escape hatch: ``# lint: allow-unvalidated-decode(<reason>)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.dataflow import Env
+from repro.lint.module import ModuleInfo
+from repro.lint.registry import register
+from repro.lint.rules._flow import FlowAnalysis, FlowRule, walk_own_expressions
+
+__all__ = ["UnvalidatedDecodeRule"]
+
+_TAINTED = "tainted"
+_VALIDATED = "validated"
+_READER = "reader"
+
+_SOURCE_METHODS = {"read", "peek", "read_bits", "peek_bits"}
+_SOURCE_FUNCTIONS = {"read_bits", "peek_bits"}
+#: Receiver names that identify a bit reader without type tracking.
+_READER_NAMES = {"reader", "br", "bitreader", "bit_reader"}
+
+_HINT = (
+    "bounds-check the decoded value first (if v > LIMIT: raise ...), or "
+    "sanitize it with a mask / min() before use"
+)
+
+
+def _call_name(func: ast.expr) -> str:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+class _TaintAnalysis(FlowAnalysis):
+    def __init__(self) -> None:
+        pass
+
+    # -- taint evaluation ----------------------------------------------------
+
+    def _is_reader(self, node: ast.expr, env: Env) -> bool:
+        if isinstance(node, ast.Name):
+            return env.get(node.id) == _READER or node.id in _READER_NAMES
+        if isinstance(node, ast.Attribute):
+            return "reader" in node.attr.lower()
+        return False
+
+    def _is_source(self, node: ast.expr, env: Env) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        if isinstance(node.func, ast.Attribute):
+            return (
+                node.func.attr in _SOURCE_METHODS
+                and self._is_reader(node.func.value, env)
+            )
+        if isinstance(node.func, ast.Name):
+            return node.func.id in _SOURCE_FUNCTIONS
+        return False
+
+    def taint_of(self, node: ast.expr, env: Env) -> str | None:
+        """``_TAINTED``/``_READER`` or ``None`` (clean/validated)."""
+        if isinstance(node, ast.Name):
+            value = env.get(node.id)
+            return value if value in (_TAINTED, _READER) else None
+        if isinstance(node, ast.Call):
+            if self._is_source(node, env):
+                return _TAINTED
+            name = _call_name(node.func)
+            if name == "BitReader":
+                return _READER
+            if name in ("min", "max"):
+                # Bounded by the other operand unless every arg is tainted.
+                taints = [self.taint_of(a, env) for a in node.args]
+                if taints and all(t == _TAINTED for t in taints):
+                    return _TAINTED
+                return None
+            return None
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.BitAnd, ast.Mod)):
+                return None  # masked / wrapped: sanitized
+            left = self.taint_of(node.left, env)
+            right = self.taint_of(node.right, env)
+            if _TAINTED in (left, right):
+                return _TAINTED
+            return None
+        if isinstance(node, ast.UnaryOp):
+            return self.taint_of(node.operand, env)
+        if isinstance(node, ast.IfExp):
+            if _TAINTED in (
+                self.taint_of(node.body, env),
+                self.taint_of(node.orelse, env),
+            ):
+                return _TAINTED
+            return None
+        if isinstance(node, ast.NamedExpr):
+            return self.taint_of(node.value, env)
+        return None
+
+    # -- dataflow ------------------------------------------------------------
+
+    def join_values(self, a, b):
+        if a == b:
+            return a
+        if _TAINTED in (a, b):
+            return _TAINTED
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return None
+
+    def transfer_stmt(self, stmt: ast.stmt, env: Env) -> None:
+        if isinstance(stmt, ast.Assign):
+            value_taint = self.taint_of(stmt.value, env)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self._bind(target.id, value_taint, env)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for elt in target.elts:
+                        if isinstance(elt, ast.Name):
+                            env.pop(elt.id, None)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            taint = (
+                self.taint_of(stmt.value, env) if stmt.value is not None else None
+            )
+            self._bind(stmt.target.id, taint, env)
+        elif isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+            if isinstance(stmt.op, (ast.BitAnd, ast.Mod)):
+                env.pop(stmt.target.id, None)  # x &= mask sanitizes
+            elif (
+                self.taint_of(stmt.value, env) == _TAINTED
+                or env.get(stmt.target.id) == _TAINTED
+            ):
+                env[stmt.target.id] = _TAINTED
+        elif isinstance(stmt, ast.Assert):
+            self._validate_compared_names(stmt.test, env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            # Loop targets iterate bounded containers/ranges: clean.
+            for node in ast.walk(stmt.target):
+                if isinstance(node, ast.Name):
+                    env.pop(node.id, None)
+
+    @staticmethod
+    def _bind(name: str, taint: str | None, env: Env) -> None:
+        if taint is None:
+            env.pop(name, None)
+        else:
+            env[name] = taint
+
+    def refine_edge(self, test: ast.expr, label: str, env: Env) -> None:
+        self._validate_compared_names(test, env)
+
+    @staticmethod
+    def _validate_compared_names(test: ast.expr, env: Env) -> None:
+        """Any name compared (ordering/equality) counts as bounds-checked."""
+        for node in ast.walk(test):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(
+                isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq))
+                for op in node.ops
+            ):
+                continue
+            for side in [node.left, *node.comparators]:
+                for name in ast.walk(side):
+                    if isinstance(name, ast.Name) and env.get(name.id) == _TAINTED:
+                        env[name.id] = _VALIDATED
+
+    # -- sinks ---------------------------------------------------------------
+
+    def check_stmt(self, stmt, env: Env):
+        yield from self._scan(walk_own_expressions(stmt), env)
+
+    def check_test(self, test, env: Env):
+        yield from self._scan(ast.walk(test), env)
+
+    def _scan(self, nodes, env: Env) -> Iterator[tuple[ast.AST, str, str]]:
+        for node in nodes:
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.LShift, ast.RShift)
+            ):
+                if self.taint_of(node.right, env) == _TAINTED:
+                    yield (
+                        node,
+                        "unvalidated decoded value used as a shift amount",
+                        _HINT,
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+                if self._is_sequence_repeat(node, env):
+                    yield (
+                        node,
+                        "unvalidated decoded value used as a sequence "
+                        "repeat count",
+                        _HINT,
+                    )
+            elif isinstance(node, ast.Subscript) and not isinstance(
+                node.slice, ast.Slice
+            ):
+                if self.taint_of(node.slice, env) == _TAINTED:
+                    yield (
+                        node,
+                        "unvalidated decoded value used as an index",
+                        _HINT,
+                    )
+            elif isinstance(node, ast.Call):
+                name = _call_name(node.func)
+                if (
+                    name in ("bytes", "bytearray")
+                    and len(node.args) == 1
+                    and self.taint_of(node.args[0], env) == _TAINTED
+                ):
+                    yield (
+                        node,
+                        f"unvalidated decoded value used as {name}() "
+                        "allocation size",
+                        _HINT,
+                    )
+
+    def _is_sequence_repeat(self, node: ast.BinOp, env: Env) -> bool:
+        for seq, count in ((node.left, node.right), (node.right, node.left)):
+            seq_like = isinstance(seq, (ast.List, ast.Tuple)) or (
+                isinstance(seq, ast.Constant) and isinstance(seq.value, (bytes, str))
+            )
+            if seq_like and self.taint_of(count, env) == _TAINTED:
+                return True
+        return False
+
+
+@register
+class UnvalidatedDecodeRule(FlowRule):
+    rule_id = "REP010"
+    slug = "unvalidated-decode"
+    summary = (
+        "raw BitReader.read()/peek() values need a dominating bounds "
+        "check before indexing, shifting, or sizing an allocation"
+    )
+    example_bad = (
+        "def decode_length(reader, table):\n"
+        "    sym = reader.read(5)\n"
+        "    return table[sym]      # corrupt input -> IndexError (or worse)\n"
+    )
+    example_good = (
+        "def decode_length(reader, table):\n"
+        "    sym = reader.read(5)\n"
+        "    if sym >= len(table):\n"
+        "        raise HuffmanError('symbol out of range', stage='inflate')\n"
+        "    return table[sym]\n"
+    )
+
+    def make_analysis(self, module: ModuleInfo, func) -> FlowAnalysis:
+        return _TaintAnalysis()

@@ -22,7 +22,46 @@ from repro.lint.baseline import Baseline
 from repro.lint.engine import Linter, LintResult
 from repro.lint.registry import LintConfigError, resolve_rules
 
-__all__ = ["run_lint", "format_text", "format_json"]
+__all__ = ["run_lint", "explain_rule", "format_text", "format_json"]
+
+
+def explain_rule(rule_id: str, out=None) -> int:
+    """Print one rule's documentation: summary, doc, examples, pragma.
+
+    Returns 0, or 2 for an unknown rule id (matching the exit-code
+    contract: misconfiguration, not a finding).
+    """
+    from repro.lint.registry import all_rules
+
+    out = out if out is not None else sys.stdout
+    rule_id = rule_id.strip().upper()
+    for cls in all_rules():
+        if cls.rule_id != rule_id:
+            continue
+        print(f"{cls.rule_id} ({cls.slug}) [{cls.severity}]", file=out)
+        print(f"  {cls.summary}", file=out)
+        doc = (sys.modules[cls.__module__].__doc__ or "").strip()
+        if doc:
+            print(file=out)
+            for line in doc.splitlines():
+                print(f"  {line}" if line else "", file=out)
+        example_bad = getattr(cls, "example_bad", "")
+        if example_bad:
+            print(file=out)
+            print("example violation:", file=out)
+            for line in example_bad.rstrip("\n").splitlines():
+                print(f"    {line}", file=out)
+        example_good = getattr(cls, "example_good", "")
+        if example_good:
+            print(file=out)
+            print("compliant version:", file=out)
+            for line in example_good.rstrip("\n").splitlines():
+                print(f"    {line}", file=out)
+        print(file=out)
+        print(f"suppress with: # lint: allow-{cls.slug}(<reason>)", file=out)
+        return 0
+    print(f"repro lint: unknown rule id {rule_id}", file=sys.stderr)
+    return 2
 
 
 def format_text(result: LintResult, *, verbose: bool = False) -> str:

@@ -449,8 +449,8 @@ def test_registry_is_complete():
     from repro.lint import all_rules
 
     ids = [cls.rule_id for cls in all_rules()]
-    assert ids == [f"REP00{i}" for i in range(1, 9)]
-    assert len({cls.slug for cls in all_rules()}) == 8
+    assert ids == [f"REP{i:03d}" for i in range(1, 13)]
+    assert len({cls.slug for cls in all_rules()}) == 12
     assert all(cls.summary for cls in all_rules())
 
 
