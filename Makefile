@@ -1,6 +1,6 @@
 # Convenience targets (plain pytest works too; see CONTRIBUTING.md).
 
-.PHONY: install test fuzz lint check bench bench-report examples all clean
+.PHONY: install test fuzz lint check bench bench-quick bench-report examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -24,6 +24,13 @@ check: test fuzz lint
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Decode-throughput regression check (docs/PERFORMANCE.md): times the
+# hot decode paths on a deterministic corpus and writes BENCH_pr5.json
+# with speedups vs the committed benchmarks/BENCH_baseline.json.
+# Corpus size in MB via BENCH_CORPUS_MB (default 2.0).
+bench-quick:
+	PYTHONPATH=src python benchmarks/bench_decode.py --out BENCH_pr5.json
 
 bench-report:
 	rm -f benchmarks/last_report.txt

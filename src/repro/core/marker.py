@@ -73,6 +73,12 @@ def count_markers(symbols: np.ndarray) -> int:
     return int((np.asarray(symbols) >= MARKER_BASE).sum())
 
 
+#: Identity prefix of the resolution LUT: byte codes map to themselves.
+#: Relies on the alphabet layout ``MARKER_BASE == 256`` putting marker
+#: ``U_j`` at LUT index ``256 + j``.
+_BYTE_IDENTITY = np.arange(MARKER_BASE, dtype=np.int32)
+
+
 def resolve(symbols: np.ndarray, window) -> np.ndarray:
     """Replace every marker ``U_j`` with ``window[j]``.
 
@@ -81,6 +87,12 @@ def resolve(symbols: np.ndarray, window) -> np.ndarray:
     (this is exactly the sequential resolution step of the second pass:
     resolving ``w_{i+1}`` with a *partially* resolved ``w_i`` chains the
     references one link back).
+
+    Implemented as a single vectorized gather: the LUT is the identity
+    over byte codes concatenated with the window, so ``lut[symbols]``
+    translates bytes and markers in one :func:`numpy.take` pass with no
+    boolean masking or per-symbol branching (pass 2 of the two-pass
+    decompressor spends essentially all its time here).
     """
     symbols = np.asarray(symbols, dtype=np.int32)
     window = np.asarray(window, dtype=np.int32)
@@ -89,10 +101,8 @@ def resolve(symbols: np.ndarray, window) -> np.ndarray:
             f"resolution window must have {WINDOW_SIZE} entries, got {window.shape}",
             stage="marker",
         )
-    mask = symbols >= MARKER_BASE
-    out = symbols.copy()
-    out[mask] = window[symbols[mask] - MARKER_BASE]
-    return out
+    lut = np.concatenate([_BYTE_IDENTITY, window])
+    return np.take(lut, symbols)
 
 
 def to_bytes(symbols: np.ndarray, placeholder: int | None = None) -> bytes:
@@ -103,15 +113,16 @@ def to_bytes(symbols: np.ndarray, placeholder: int | None = None) -> bytes:
     the paper's '?' display convention (Figure 1).
     """
     symbols = np.asarray(symbols, dtype=np.int32)
-    mask = symbols >= MARKER_BASE
-    if mask.any():
+    # max() is one branch-free pass; the boolean mask (two more passes)
+    # is only materialised on the rare marker-bearing path.
+    if symbols.size and int(symbols.max()) >= MARKER_BASE:
+        mask = symbols >= MARKER_BASE
         if placeholder is None:
             raise ReproError(
                 f"{int(mask.sum())} unresolved markers in symbol stream",
                 stage="marker",
             )
-        symbols = symbols.copy()
-        symbols[mask] = placeholder
+        symbols = np.where(mask, np.int32(placeholder), symbols)
     return symbols.astype(np.uint8).tobytes()
 
 

@@ -223,6 +223,13 @@ def _decode_block_symbols(
 
     Returns ``True`` if decoding stopped early because ``budget``
     symbols were produced (the caller then reports truncation).
+
+    Hot path: the reader's bit-buffer state is mirrored into locals and
+    written back on exit (the documented ``_bitbuf``/``_bitcount``
+    protocol), with lazy bulk refills (top-up only when the buffer
+    cannot satisfy the next table lookup or extra-bits read) and
+    slice-batched match copies — the same structure as the byte-domain
+    fast loop in :func:`repro.deflate.inflate._decode_huffman_block_fast`.
     """
     litlen = header.litlen
     dist = header.dist
@@ -232,87 +239,159 @@ def _decode_block_symbols(
     dist_table = dist.table if dist is not None else None
     dist_bits = dist.max_bits if dist is not None else 0
     dist_mask = (1 << dist_bits) - 1
+    end_of_block = C.END_OF_BLOCK
+    max_litlen = C.MAX_USED_LITLEN
+    max_dist = C.MAX_USED_DIST
+    # A budget of None never triggers truncation: compare against an
+    # unreachable int bound so the loop keeps one cheap comparison.
+    limit = (1 << 62) if budget is None else budget
+
+    data = reader._data
+    nbytes = reader._nbytes
+    pos = reader._pos
+    bitbuf = reader._bitbuf
+    bitcount = reader._bitcount
+    from_bytes = int.from_bytes
+    out_append = out.append
+    out_extend = out.extend
 
     produced = 0
 
-    while True:
-        if budget is not None and produced >= budget:
-            return True
+    try:
+        while True:
+            if produced >= limit:
+                return True
 
-        if reader._bitcount < lit_bits:
-            reader._refill()
-        entry = lit_table[reader._bitbuf & lit_mask]
-        nbits = entry & 15
-        if nbits == 0:
-            raise HuffmanError(
-                "invalid litlen code",
-                bit_offset=reader.tell_bits(), stage="marker_inflate",
-            )
-        if nbits > reader._bitcount:
-            raise BitstreamError(
-                "litlen code past end of stream",
-                bit_offset=reader.tell_bits(), stage="marker_inflate",
-            )
-        reader._bitbuf >>= nbits
-        reader._bitcount -= nbits
-        sym = entry >> 4
+            if bitcount < lit_bits:
+                take = (64 - bitcount) >> 3
+                rest = nbytes - pos
+                if take > rest:
+                    take = rest
+                if take > 0:
+                    bitbuf |= from_bytes(data[pos : pos + take], "little") << bitcount
+                    bitcount += take << 3
+                    pos += take
+                if bitcount < lit_bits:
+                    # Input exhausted: only here can a code claim more
+                    # bits than remain (litlen tables are complete, so
+                    # every index is a valid code and the main path
+                    # needs no per-symbol validation).
+                    if lit_table[bitbuf & lit_mask][0] > bitcount:
+                        reader._pos, reader._bitbuf, reader._bitcount = pos, bitbuf, bitcount
+                        raise BitstreamError(
+                            "litlen code past end of stream",
+                            bit_offset=reader.tell_bits(), stage="marker_inflate",
+                        )
 
-        if sym < 256:
-            out.append(sym)
-            produced += 1
-            continue
-        if sym == C.END_OF_BLOCK:
-            return False
-        if sym > C.MAX_USED_LITLEN:
-            raise HuffmanError(
-                f"invalid length symbol {sym}",
-                bit_offset=reader.tell_bits(), stage="marker_inflate",
-            )
+            nbits, sym = lit_table[bitbuf & lit_mask]
+            bitbuf >>= nbits
+            bitcount -= nbits
 
-        idx = sym - 257
-        extra = lextra[idx]
-        length = lbase[idx] + (reader.read(extra) if extra else 0)
+            if sym < 256:
+                out_append(sym)
+                produced += 1
+                continue
+            if sym == end_of_block:
+                return False
+            if sym > max_litlen:
+                reader._pos, reader._bitbuf, reader._bitcount = pos, bitbuf, bitcount
+                raise HuffmanError(
+                    f"invalid length symbol {sym}",
+                    bit_offset=reader.tell_bits(), stage="marker_inflate",
+                )
 
-        if dist_table is None:
-            raise BackrefError(
-                "match in block that declared no distance codes",
-                bit_offset=reader.tell_bits(), stage="marker_inflate",
-            )
-        if reader._bitcount < dist_bits:
-            reader._refill()
-        entry = dist_table[reader._bitbuf & dist_mask]
-        nbits = entry & 15
-        if nbits == 0:
-            raise HuffmanError(
-                "invalid distance code",
-                bit_offset=reader.tell_bits(), stage="marker_inflate",
-            )
-        if nbits > reader._bitcount:
-            raise BitstreamError(
-                "distance code past end of stream",
-                bit_offset=reader.tell_bits(), stage="marker_inflate",
-            )
-        reader._bitbuf >>= nbits
-        reader._bitcount -= nbits
-        dsym = entry >> 4
-        if dsym > C.MAX_USED_DIST:
-            raise HuffmanError(
-                f"invalid distance symbol {dsym}",
-                bit_offset=reader.tell_bits(), stage="marker_inflate",
-            )
-        dex = dextra[dsym]
-        distance = dbase[dsym] + (reader.read(dex) if dex else 0)
+            idx = sym - 257
+            extra = lextra[idx]
+            if extra:
+                if extra > bitcount:
+                    take = min((64 - bitcount) >> 3, nbytes - pos)
+                    if take > 0:
+                        bitbuf |= from_bytes(data[pos : pos + take], "little") << bitcount
+                        bitcount += take << 3
+                        pos += take
+                    if extra > bitcount:
+                        reader._pos, reader._bitbuf, reader._bitcount = pos, bitbuf, bitcount
+                        raise BitstreamError(
+                            f"requested {extra} bits with only {bitcount} available",
+                            bit_offset=reader.tell_bits(), stage="marker_inflate",
+                        )
+                length = lbase[idx] + (bitbuf & ((1 << extra) - 1))
+                bitbuf >>= extra
+                bitcount -= extra
+            else:
+                length = lbase[idx]
 
-        pos = len(out) - distance
-        if pos < 0:
-            raise BackrefError(
-                f"distance {distance} exceeds seeded window + history",
-                bit_offset=reader.tell_bits(), stage="marker_inflate",
-            )
-        if distance >= length:
-            out.extend(out[pos : pos + length])
-        else:
-            pattern = out[pos:]
-            reps = -(-length // distance)
-            out.extend((pattern * reps)[:length])
-        produced += length
+            if dist_table is None:
+                reader._pos, reader._bitbuf, reader._bitcount = pos, bitbuf, bitcount
+                raise BackrefError(
+                    "match in block that declared no distance codes",
+                    bit_offset=reader.tell_bits(), stage="marker_inflate",
+                )
+            if bitcount < dist_bits:
+                take = min((64 - bitcount) >> 3, nbytes - pos)
+                if take > 0:
+                    bitbuf |= from_bytes(data[pos : pos + take], "little") << bitcount
+                    bitcount += take << 3
+                    pos += take
+                if bitcount < dist_bits:
+                    # Input exhausted mid-match (distance tables may be
+                    # incomplete, so nbits==0 stays checked below).
+                    if dist_table[bitbuf & dist_mask][0] > bitcount:
+                        reader._pos, reader._bitbuf, reader._bitcount = pos, bitbuf, bitcount
+                        raise BitstreamError(
+                            "distance code past end of stream",
+                            bit_offset=reader.tell_bits(), stage="marker_inflate",
+                        )
+            nbits, dsym = dist_table[bitbuf & dist_mask]
+            if nbits == 0:
+                reader._pos, reader._bitbuf, reader._bitcount = pos, bitbuf, bitcount
+                raise HuffmanError(
+                    "invalid distance code",
+                    bit_offset=reader.tell_bits(), stage="marker_inflate",
+                )
+            bitbuf >>= nbits
+            bitcount -= nbits
+            if dsym > max_dist:
+                reader._pos, reader._bitbuf, reader._bitcount = pos, bitbuf, bitcount
+                raise HuffmanError(
+                    f"invalid distance symbol {dsym}",
+                    bit_offset=reader.tell_bits(), stage="marker_inflate",
+                )
+            dex = dextra[dsym]
+            if dex:
+                if dex > bitcount:
+                    take = min((64 - bitcount) >> 3, nbytes - pos)
+                    if take > 0:
+                        bitbuf |= from_bytes(data[pos : pos + take], "little") << bitcount
+                        bitcount += take << 3
+                        pos += take
+                    if dex > bitcount:
+                        reader._pos, reader._bitbuf, reader._bitcount = pos, bitbuf, bitcount
+                        raise BitstreamError(
+                            f"requested {dex} bits with only {bitcount} available",
+                            bit_offset=reader.tell_bits(), stage="marker_inflate",
+                        )
+                distance = dbase[dsym] + (bitbuf & ((1 << dex) - 1))
+                bitbuf >>= dex
+                bitcount -= dex
+            else:
+                distance = dbase[dsym]
+
+            start = len(out) - distance
+            if start < 0:
+                reader._pos, reader._bitbuf, reader._bitcount = pos, bitbuf, bitcount
+                raise BackrefError(
+                    f"distance {distance} exceeds seeded window + history",
+                    bit_offset=reader.tell_bits(), stage="marker_inflate",
+                )
+            if distance >= length:
+                out_extend(out[start : start + length])
+            else:
+                pattern = out[start:]
+                reps = -(-length // distance)
+                out_extend((pattern * reps)[:length])
+            produced += length
+    finally:
+        reader._pos = pos
+        reader._bitbuf = bitbuf
+        reader._bitcount = bitcount

@@ -79,6 +79,9 @@ def translate_chunk(
     resolution (a reference into genuinely unknown data) raises; the
     fault-tolerant decompressor passes ``ord('?')`` to render such
     positions as holes instead.
+
+    Fully vectorized: one LUT gather (:func:`repro.core.marker.resolve`)
+    plus one ``astype(uint8)`` pass — no per-symbol branching.
     """
     resolved = marker.resolve(symbols, context)
     return marker.to_bytes(resolved, placeholder=placeholder)

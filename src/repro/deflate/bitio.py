@@ -13,11 +13,18 @@ attempts to decode a block.
 
 Performance notes (this is the innermost layer of a pure-Python inflate):
 
-* the reader keeps up to 57 buffered bits in a Python int and refills
-  8 bytes at a time with ``int.from_bytes``;
-* hot loops in :mod:`repro.deflate.inflate` access the ``_bitbuf`` /
-  ``_bitcount`` attributes directly instead of calling methods — the
-  attributes are a stable, documented internal API;
+* the reader keeps up to 64 buffered bits in a Python int and refills
+  in bulk (up to 8 bytes per ``int.from_bytes`` call), so a single
+  refill from any buffer level tops the buffer up to at least 57 bits
+  whenever that much data remains — one refill per DEFLATE symbol
+  (litlen code + extra + dist code + extra needs at most 48 bits);
+* hot loops in :mod:`repro.deflate.inflate` and
+  :mod:`repro.core.marker_inflate` mirror the ``_data`` / ``_nbytes`` /
+  ``_pos`` / ``_bitbuf`` / ``_bitcount`` attributes into locals, run the
+  same refill arithmetic inline, and write the attributes back before
+  returning or raising — the attributes are a stable, documented
+  internal API and ``tell_bits`` arithmetic
+  (``8 * _pos - _bitcount``) must keep holding;
 * peeking past the end of the stream zero-pads (like zlib), but
   *consuming* past the end raises :class:`~repro.errors.BitstreamError`.
 """
@@ -98,13 +105,20 @@ class BitReader:
     # -- refill ------------------------------------------------------------
 
     def _refill(self) -> None:
-        """Top the bit buffer up to >= 57 bits (or to end of data)."""
+        """Bulk-refill the bit buffer to >= 57 bits (or to end of data).
+
+        One call accumulates as many whole bytes as fit under the 64-bit
+        ceiling, so any ``read``/``peek`` of up to 57 bits is satisfied
+        by a single refill while data remains.  (The previous 63-bit
+        ceiling could leave only 56 bits after a refill from empty,
+        making ``peek(57)`` silently zero-pad mid-stream.)
+        """
         pos = self._pos
         data = self._data
         n = self._nbytes
         bitcount = self._bitcount
         bitbuf = self._bitbuf
-        take = min((63 - bitcount) >> 3, n - pos)
+        take = min((64 - bitcount) >> 3, n - pos)
         if take > 0:
             chunk = int.from_bytes(data[pos : pos + take], "little")
             bitbuf |= chunk << bitcount
@@ -117,10 +131,15 @@ class BitReader:
     # -- core operations ----------------------------------------------------
 
     def peek(self, nbits: int) -> int:
-        """Return the next ``nbits`` bits without consuming them.
+        """Return the next ``nbits`` bits (``nbits <= 57``) without consuming.
 
         Bits beyond the end of the stream read as zero (the caller is
-        responsible for not *consuming* them).
+        responsible for not *consuming* them): with ``k ==
+        bits_remaining() < nbits`` the low ``k`` bits are real data and
+        bits ``k..nbits-1`` are zero.  This is what lets the block-start
+        probes in :mod:`repro.core.sync` / :mod:`repro.core.guess` peek
+        a full decode-table window past the last block without
+        special-casing the tail.
         """
         if self._bitcount < nbits:
             self._refill()

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.deflate import constants as C
 from repro.deflate.bitio import BitReader
-from repro.deflate.huffman import HuffmanDecoder
+from repro.deflate.huffman import HuffmanDecoder, cached_decoder
 from repro.deflate.tokens import TokenStream
 from repro.units import BitOffset, ByteOffset
 from repro.errors import (
@@ -117,7 +117,7 @@ def _read_dynamic_tables(reader: BitReader, strict: bool) -> tuple[HuffmanDecode
     clen_lengths = [0] * 19
     for i in range(hclen):
         clen_lengths[C.CODELEN_ORDER[i]] = reader.read(3)
-    clen_decoder = HuffmanDecoder(clen_lengths)  # must be complete
+    clen_decoder = cached_decoder(clen_lengths)  # must be complete
 
     # Decode HLIT + HDIST code lengths as one run (repeats may cross
     # the litlen/dist boundary, per the RFC).
@@ -173,7 +173,7 @@ def _read_dynamic_tables(reader: BitReader, strict: bool) -> tuple[HuffmanDecode
             "litlen code lacks end-of-block symbol",
             bit_offset=reader.tell_bits(), stage="header",
         )
-    litlen = HuffmanDecoder(litlen_lengths)  # complete required
+    litlen = cached_decoder(litlen_lengths)  # complete required
 
     n_dist = sum(1 for l in dist_lengths if l)
     if n_dist == 0:
@@ -181,7 +181,7 @@ def _read_dynamic_tables(reader: BitReader, strict: bool) -> tuple[HuffmanDecode
     else:
         # RFC permits an incomplete distance code only in the
         # one-symbol degenerate case.
-        dist = HuffmanDecoder(dist_lengths, allow_incomplete=(n_dist == 1))
+        dist = cached_decoder(dist_lengths, allow_incomplete=(n_dist == 1))
     return litlen, dist
 
 
@@ -319,11 +319,13 @@ def inflate(
             if tokens is not None:
                 for b in chunk:
                     tokens.add_literal(b)
-        else:
+        elif strict or tokens is not None:
             _decode_huffman_block(
                 reader, header, out, tokens, ascii_mask, lbase, lextra, dbase, dextra,
                 strict=strict,
             )
+        else:
+            _decode_huffman_block_fast(reader, header, out)
 
         out_end = len(out)
         if strict:
@@ -400,8 +402,7 @@ def _decode_huffman_block(
         # -- decode litlen symbol (inlined HuffmanDecoder.decode) --
         if reader._bitcount < lit_bits:
             reader._refill()
-        entry = lit_table[reader._bitbuf & ((1 << lit_bits) - 1)]
-        nbits = entry & 15
+        nbits, sym = lit_table[reader._bitbuf & ((1 << lit_bits) - 1)]
         if nbits == 0:
             raise HuffmanError(
                 "invalid litlen code", bit_offset=reader.tell_bits(), stage="inflate"
@@ -413,7 +414,6 @@ def _decode_huffman_block(
             )
         reader._bitbuf >>= nbits
         reader._bitcount -= nbits
-        sym = entry >> 4
 
         if sym < 256:
             if ascii_mask is not None and not ascii_mask[sym]:
@@ -451,8 +451,7 @@ def _decode_huffman_block(
             )
         if reader._bitcount < dist_bits:
             reader._refill()
-        entry = dist_table[reader._bitbuf & ((1 << dist_bits) - 1)]
-        nbits = entry & 15
+        nbits, dsym = dist_table[reader._bitbuf & ((1 << dist_bits) - 1)]
         if nbits == 0:
             raise HuffmanError(
                 "invalid distance code", bit_offset=reader.tell_bits(), stage="inflate"
@@ -464,7 +463,6 @@ def _decode_huffman_block(
             )
         reader._bitbuf >>= nbits
         reader._bitcount -= nbits
-        dsym = entry >> 4
         if dsym > C.MAX_USED_DIST:
             raise HuffmanError(
                 f"invalid distance symbol {dsym}",
@@ -504,6 +502,189 @@ def _decode_huffman_block(
                 "block exceeds 4 MiB probe limit",
                 bit_offset=reader.tell_bits(), stage="inflate",
             )
+
+
+def _decode_huffman_block_fast(reader: BitReader, header: BlockHeader, out: bytearray) -> None:
+    """Fast-path symbol loop: non-strict decode without token capture.
+
+    Semantics are identical to :func:`_decode_huffman_block` with
+    ``strict=False``/``tokens=None`` (the differential fuzz suite pins
+    this); the speed comes from
+
+    * mirroring the reader's bit-buffer state into locals and writing it
+      back only on exit (the documented ``_bitbuf``/``_bitcount``
+      protocol of :mod:`repro.deflate.bitio`), so the per-symbol cost is
+      pure local-variable arithmetic;
+    * lazy bulk refills: the buffer is topped up (to >= 57 bits, 6-8
+      bytes per ``int.from_bytes``) only when it cannot satisfy the
+      next table lookup, so a refill happens once per ~5 symbols
+      instead of once per bit-level read; the rare in-group underflows
+      (extra bits / distance code crossing the low-water mark) refill
+      in place and only then report truncation;
+    * batched copy-match expansion: non-overlapping matches are one
+      ``bytearray`` slice copy, overlapping ones one pattern-repeat
+      slice; byte-wise copying never happens.
+    """
+    litlen = header.litlen
+    dist = header.dist
+    lit_table = litlen.table
+    lit_bits = litlen.max_bits
+    lit_mask = (1 << lit_bits) - 1
+    dist_table = dist.table if dist is not None else None
+    dist_bits = dist.max_bits if dist is not None else 0
+    dist_mask = (1 << dist_bits) - 1
+    lbase = C.LENGTH_BASE
+    lextra = C.LENGTH_EXTRA_BITS
+    dbase = C.DIST_BASE
+    dextra = C.DIST_EXTRA_BITS
+    end_of_block = C.END_OF_BLOCK
+    max_litlen = C.MAX_USED_LITLEN
+    max_dist = C.MAX_USED_DIST
+
+    data = reader._data
+    nbytes = reader._nbytes
+    pos = reader._pos
+    bitbuf = reader._bitbuf
+    bitcount = reader._bitcount
+    from_bytes = int.from_bytes
+    out_append = out.append
+
+    try:
+        while True:
+            if bitcount < lit_bits:
+                take = (64 - bitcount) >> 3
+                rest = nbytes - pos
+                if take > rest:
+                    take = rest
+                if take > 0:
+                    bitbuf |= from_bytes(data[pos : pos + take], "little") << bitcount
+                    bitcount += take << 3
+                    pos += take
+                if bitcount < lit_bits:
+                    # Input exhausted: only here can a code claim more
+                    # bits than remain.  (The table is complete —
+                    # construction rejects incomplete litlen codes — so
+                    # every index is a valid code and the in-budget
+                    # main path below needs no per-symbol validation.)
+                    if lit_table[bitbuf & lit_mask][0] > bitcount:
+                        reader._pos, reader._bitbuf, reader._bitcount = pos, bitbuf, bitcount
+                        raise BitstreamError(
+                            "litlen code past end of stream",
+                            bit_offset=reader.tell_bits(), stage="inflate",
+                        )
+
+            nbits, sym = lit_table[bitbuf & lit_mask]
+            bitbuf >>= nbits
+            bitcount -= nbits
+
+            if sym < 256:
+                out_append(sym)
+                continue
+            if sym == end_of_block:
+                return
+            if sym > max_litlen:
+                reader._pos, reader._bitbuf, reader._bitcount = pos, bitbuf, bitcount
+                raise HuffmanError(
+                    f"invalid length symbol {sym}",
+                    bit_offset=reader.tell_bits(), stage="inflate",
+                )
+
+            # -- match length (extra bits read straight off the buffer) --
+            idx = sym - 257
+            extra = lextra[idx]
+            if extra:
+                if extra > bitcount:
+                    take = min((64 - bitcount) >> 3, nbytes - pos)
+                    if take > 0:
+                        bitbuf |= from_bytes(data[pos : pos + take], "little") << bitcount
+                        bitcount += take << 3
+                        pos += take
+                    if extra > bitcount:
+                        reader._pos, reader._bitbuf, reader._bitcount = pos, bitbuf, bitcount
+                        raise BitstreamError(
+                            f"requested {extra} bits with only {bitcount} available",
+                            bit_offset=reader.tell_bits(), stage="inflate",
+                        )
+                length = lbase[idx] + (bitbuf & ((1 << extra) - 1))
+                bitbuf >>= extra
+                bitcount -= extra
+            else:
+                length = lbase[idx]
+
+            # -- distance --
+            if dist_table is None:
+                reader._pos, reader._bitbuf, reader._bitcount = pos, bitbuf, bitcount
+                raise BackrefError(
+                    "match in block that declared no distance codes",
+                    bit_offset=reader.tell_bits(), stage="inflate",
+                )
+            if bitcount < dist_bits:
+                take = min((64 - bitcount) >> 3, nbytes - pos)
+                if take > 0:
+                    bitbuf |= from_bytes(data[pos : pos + take], "little") << bitcount
+                    bitcount += take << 3
+                    pos += take
+                if bitcount < dist_bits:
+                    # Input exhausted mid-match (distance tables may be
+                    # incomplete, so nbits==0 stays checked below).
+                    if dist_table[bitbuf & dist_mask][0] > bitcount:
+                        reader._pos, reader._bitbuf, reader._bitcount = pos, bitbuf, bitcount
+                        raise BitstreamError(
+                            "distance code past end of stream",
+                            bit_offset=reader.tell_bits(), stage="inflate",
+                        )
+            nbits, dsym = dist_table[bitbuf & dist_mask]
+            if nbits == 0:
+                reader._pos, reader._bitbuf, reader._bitcount = pos, bitbuf, bitcount
+                raise HuffmanError(
+                    "invalid distance code",
+                    bit_offset=reader.tell_bits(), stage="inflate",
+                )
+            bitbuf >>= nbits
+            bitcount -= nbits
+            if dsym > max_dist:
+                reader._pos, reader._bitbuf, reader._bitcount = pos, bitbuf, bitcount
+                raise HuffmanError(
+                    f"invalid distance symbol {dsym}",
+                    bit_offset=reader.tell_bits(), stage="inflate",
+                )
+            dex = dextra[dsym]
+            if dex:
+                if dex > bitcount:
+                    take = min((64 - bitcount) >> 3, nbytes - pos)
+                    if take > 0:
+                        bitbuf |= from_bytes(data[pos : pos + take], "little") << bitcount
+                        bitcount += take << 3
+                        pos += take
+                    if dex > bitcount:
+                        reader._pos, reader._bitbuf, reader._bitcount = pos, bitbuf, bitcount
+                        raise BitstreamError(
+                            f"requested {dex} bits with only {bitcount} available",
+                            bit_offset=reader.tell_bits(), stage="inflate",
+                        )
+                distance = dbase[dsym] + (bitbuf & ((1 << dex) - 1))
+                bitbuf >>= dex
+                bitcount -= dex
+            else:
+                distance = dbase[dsym]
+
+            start = len(out) - distance
+            if start < 0:
+                reader._pos, reader._bitbuf, reader._bitcount = pos, bitbuf, bitcount
+                raise BackrefError(
+                    f"distance {distance} exceeds available history {len(out)}",
+                    bit_offset=reader.tell_bits(), stage="inflate",
+                )
+            if distance >= length:
+                out += out[start : start + length]
+            else:
+                pattern = bytes(out[start:])
+                reps = -(-length // distance)
+                out += (pattern * reps)[:length]
+    finally:
+        reader._pos = pos
+        reader._bitbuf = bitbuf
+        reader._bitcount = bitcount
 
 
 def inflate_bytes(data, start_bit: BitOffset = BitOffset(0), window: bytes = b"") -> bytes:

@@ -1,0 +1,131 @@
+"""Copy-match window underflow at chunk starts (PR 5 sweep).
+
+A chunk handed less than 32 KiB of context can see a back-reference
+that reaches *before* the provided window.  The contract, exercised
+here with distances straddling the provided-window boundary by +-1:
+
+* **marker inflate** pads the missing (older) context with markers, so
+  the reference decodes to the marker naming the unknown position —
+  output is produced, never a wrap and never an exception;
+* **byte-domain inflate** (which has no marker alphabet) raises a
+  structured :class:`~repro.errors.BackrefError` carrying
+  ``bit_offset``/``stage``, which the pugz pass-1 wrapper annotates
+  with ``chunk_index`` — never a silent wrap or negative index;
+* **strict (probing) inflate** assumes an unknown 32 KiB context and
+  renders the unknown bytes as ``'?'`` placeholders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import marker
+from repro.core.marker_inflate import marker_inflate
+from repro.deflate.deflate import compress_tokens
+from repro.deflate.inflate import inflate
+from repro.deflate.tokens import TokenStream
+from repro.errors import BackrefError, annotate
+
+DIST = 100
+LENGTH = 8
+
+
+def leading_match_payload(
+    distance: int = DIST, length: int = LENGTH, bfinal: bool = True
+) -> bytes:
+    """Raw DEFLATE stream whose first token is a match at ``distance``.
+
+    The match expands to ``length`` copies of ``'A'`` (what a correct
+    window of ``'A'`` bytes would supply), followed by a literal tail.
+    """
+    tokens = TokenStream()
+    tokens.add_match(distance, length)
+    tail = b"CGTACGTA"
+    for b in tail:
+        tokens.add_literal(b)
+    return compress_tokens(b"A" * length + tail, tokens, bfinal=bfinal)
+
+
+PAYLOAD = leading_match_payload()
+
+
+class TestByteDomainInflate:
+    def test_window_exactly_covers_distance(self):
+        result = inflate(PAYLOAD, window=b"A" * DIST)
+        assert result.data == b"A" * LENGTH + b"CGTACGTA"
+
+    def test_window_one_byte_larger(self):
+        result = inflate(PAYLOAD, window=b"x" + b"A" * DIST)
+        assert result.data[:LENGTH] == b"A" * LENGTH
+
+    def test_window_one_byte_short_raises_structured(self):
+        with pytest.raises(BackrefError) as exc_info:
+            inflate(PAYLOAD, window=b"A" * (DIST - 1))
+        err = exc_info.value
+        assert err.bit_offset is not None
+        assert err.stage == "inflate"
+        # The pugz pass-1 worker annotates the failing chunk's index on
+        # exactly this error before propagating it.
+        annotate(err, chunk_index=3)
+        assert err.chunk_index == 3
+
+    def test_empty_window_raises(self):
+        with pytest.raises(BackrefError):
+            inflate(PAYLOAD)
+
+    def test_no_silent_wrap(self):
+        # A wrap bug would satisfy the reference from the *end* of the
+        # output/window and decode garbage instead of raising.
+        for short in (1, LENGTH, DIST - 1):
+            with pytest.raises(BackrefError):
+                inflate(PAYLOAD, window=b"Z" * (DIST - short))
+
+
+class TestStrictInflate:
+    def test_unknown_context_renders_placeholders(self):
+        # Strict probing rejects BFINAL=1 and blocks under 1 KiB, so
+        # probe a non-final block with a long literal tail.
+        tokens = TokenStream()
+        tokens.add_match(DIST, LENGTH)
+        tail = b"ACGT" * 300
+        for b in tail:
+            tokens.add_literal(b)
+        payload = compress_tokens(b"A" * LENGTH + tail, tokens, bfinal=False)
+        result = inflate(payload, strict=True, max_blocks=1)
+        assert result.data[:LENGTH] == b"?" * LENGTH
+        assert result.data[LENGTH:] == tail
+
+
+class TestMarkerInflate:
+    @pytest.mark.parametrize("delta", [-1, 0, +1])
+    def test_boundary_straddle(self, delta):
+        """Provide DIST + delta bytes of context; the match needs DIST."""
+        provided = DIST + delta
+        result = marker_inflate(PAYLOAD, window=b"A" * provided)
+        symbols = result.symbols
+        if delta >= 0:
+            # Fully covered: concrete bytes, no markers.
+            assert marker.count_markers(symbols[:LENGTH]) == 0
+            assert bytes(symbols[:LENGTH].astype(np.uint8)) == b"A" * LENGTH
+        else:
+            # The oldest referenced position is one before the provided
+            # context: exactly one marker, naming window slot
+            # 32768 - DIST (the missing byte), the rest concrete.
+            assert marker.count_markers(symbols[:LENGTH]) == 1
+            assert symbols[0] == marker.MARKER_BASE + 32768 - DIST
+            assert bytes(symbols[1:LENGTH].astype(np.uint8)) == b"A" * (LENGTH - 1)
+
+    def test_marker_resolves_to_true_context(self):
+        short = marker_inflate(PAYLOAD, window=b"A" * (DIST - 1))
+        context = np.frombuffer(b"B" * (32768 - DIST + 1) + b"A" * (DIST - 1), dtype=np.uint8).astype(np.int32)
+        resolved = marker.resolve(short.symbols, context)
+        assert bytes(resolved[:LENGTH].astype(np.uint8)) == b"B" + b"A" * (LENGTH - 1)
+
+    def test_no_negative_index(self):
+        # Distances are capped at 32768 by the format, and the seeded
+        # window always pads to exactly 32768 symbols, so a negative
+        # list index is impossible; the assertion is that decoding with
+        # *zero* context still succeeds and yields markers.
+        result = marker_inflate(PAYLOAD, window=b"")
+        assert marker.count_markers(result.symbols[:LENGTH]) == LENGTH

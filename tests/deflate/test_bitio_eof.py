@@ -1,0 +1,107 @@
+"""BitReader end-of-buffer semantics: 0-7 trailing bits (PR 5 sweep).
+
+The block-start probing code in :mod:`repro.core.sync` /
+:mod:`repro.core.guess` routinely peeks a full decode-table window past
+the last block of a stream, so the tail contract must hold exactly:
+
+* ``peek(n)`` with ``k = bits_remaining() < n`` returns the ``k`` real
+  bits in the low positions and zero in bits ``k..n-1`` — never garbage,
+  never an exception;
+* ``consume``/``read`` past the end raise :class:`BitstreamError`;
+* ``bits_remaining()`` counts down exactly.
+
+Also pins the bulk-refill fix: one refill now tops the buffer up to
+>= 57 bits whenever that much data remains, so ``peek(57)`` /
+``read(57)`` mid-stream see real bits.  (The previous 63-bit refill
+ceiling could leave only 56 bits after refilling from empty, making
+``peek(57)`` silently zero-pad bit 56 and ``read(57)`` raise spuriously
+in the middle of a perfectly good stream.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.deflate.bitio import BitReader
+from repro.errors import BitstreamError
+
+ALL_ONES = b"\xff" * 4
+
+
+class TestTrailingBits:
+    @pytest.mark.parametrize("trailing", range(8))
+    def test_bits_remaining_counts_down(self, trailing):
+        r = BitReader(ALL_ONES, 32 - trailing)
+        assert r.bits_remaining() == trailing
+        assert r.tell_bits() == 32 - trailing
+
+    @pytest.mark.parametrize("trailing", range(8))
+    def test_peek_zero_pads_past_end(self, trailing):
+        # All-ones data: every real bit peeks as 1, every padded bit as 0,
+        # so the boundary position is unambiguous.
+        r = BitReader(ALL_ONES, 32 - trailing)
+        assert r.peek(8) == (1 << trailing) - 1
+        # Peeking must not advance or corrupt the cursor.
+        assert r.bits_remaining() == trailing
+        assert r.peek(8) == (1 << trailing) - 1
+
+    @pytest.mark.parametrize("trailing", range(8))
+    def test_consume_exactly_remaining(self, trailing):
+        r = BitReader(ALL_ONES, 32 - trailing)
+        r.peek(8)
+        if trailing:
+            r.consume(trailing)
+        assert r.bits_remaining() == 0
+        assert r.tell_bits() == 32
+
+    @pytest.mark.parametrize("trailing", range(8))
+    def test_consume_past_end_raises(self, trailing):
+        r = BitReader(ALL_ONES, 32 - trailing)
+        r.peek(8)  # zero-padded peek is fine ...
+        with pytest.raises(BitstreamError):
+            r.consume(trailing + 1)  # ... consuming the padding is not
+
+    @pytest.mark.parametrize("trailing", range(8))
+    def test_read_exactly_remaining_then_raises(self, trailing):
+        r = BitReader(ALL_ONES, 32 - trailing)
+        assert r.read(trailing) == (1 << trailing) - 1
+        with pytest.raises(BitstreamError):
+            r.read(1)
+
+    @pytest.mark.parametrize("trailing", range(8))
+    def test_error_reports_position(self, trailing):
+        r = BitReader(ALL_ONES, 32 - trailing)
+        with pytest.raises(BitstreamError) as exc_info:
+            r.read(trailing + 1)
+        assert exc_info.value.stage == "bitio"
+
+
+class TestWideRefill:
+    """The 57-bit guarantee of a single refill (regression tests)."""
+
+    def test_peek_57_mid_stream_is_real_data(self):
+        # Bit 56 of all-ones data is 1; the pre-fix refill stopped at 56
+        # buffered bits and zero-padded it.
+        r = BitReader(b"\xff" * 16)
+        assert r.peek(57) == (1 << 57) - 1
+
+    def test_read_57_mid_stream_does_not_raise(self):
+        data = bytes(range(16))
+        r = BitReader(data)
+        value = r.read(57)
+        assert value == int.from_bytes(data[:8], "little") & ((1 << 57) - 1)
+        assert r.tell_bits() == 57
+
+    def test_peek_57_with_56_remaining_zero_pads(self):
+        r = BitReader(b"\xff" * 7)  # 56 bits total
+        assert r.bits_remaining() == 56
+        assert r.peek(57) == (1 << 56) - 1
+
+    @pytest.mark.parametrize("skew", range(8))
+    def test_skewed_start_peek_consume_roundtrip(self, skew):
+        data = bytes((37 * i + 11) & 0xFF for i in range(12))
+        r = BitReader(data, skew)
+        want = (int.from_bytes(data, "little") >> skew) & ((1 << 57) - 1)
+        assert r.peek(57) == want
+        r.consume(57)
+        assert r.tell_bits() == skew + 57

@@ -1,0 +1,114 @@
+"""Differential fuzz: optimized decode vs reference decoders (PR 5).
+
+The hot-path rewrite must not drift by a single byte or bit.  Each
+seeded stream is decoded three ways and cross-checked:
+
+* ``zlib.decompress`` — the external ground truth for output bytes;
+* the optimized fast loop (``inflate`` without token capture) — the
+  path PR 5 rewrote;
+* the general loop (``inflate`` with ``capture_tokens=True``), which is
+  the pre-optimization per-symbol decoder kept for strict/token mode —
+  so fast-vs-general is literally optimized-vs-pre-optimization;
+* ``marker_inflate`` from a fully known (empty) context, whose symbol
+  stream must equal the byte stream exactly.
+
+Byte output must be identical across all four, and the final bit
+positions of the three in-repo decoders must agree exactly.
+
+~50 streams: 10 seeds x 5 stream shapes (stored blocks, fixed-Huffman,
+dynamic at two levels, sync-flush seams), over random-DNA and
+FASTQ-like corpora.  Runs in tier-1 (small inputs, a few seconds).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.marker_inflate import marker_inflate
+from repro.deflate.inflate import inflate
+
+SEEDS = range(10)
+
+
+def make_text(seed: int, n: int = 24_000) -> bytes:
+    """Seeded random-DNA/FASTQ-like text (alternates shape by seed)."""
+    rng = random.Random(0xF52 + seed)
+    if seed % 2:
+        return bytes(rng.choice(b"ACGT") for _ in range(n))
+    out = bytearray()
+    rid = 0
+    while len(out) < n:
+        rid += 1
+        k = rng.randint(60, 90)
+        seq = bytes(rng.choice(b"ACGT") for _ in range(k))
+        qual = bytes(rng.randint(33, 73) for _ in range(k))
+        out += b"@read%d\n" % rid + seq + b"\n+\n" + qual + b"\n"
+    return bytes(out[:n])
+
+
+def compress_shape(text: bytes, shape: str) -> bytes:
+    """Raw DEFLATE stream of ``text`` in the requested block shape."""
+    if shape == "stored":
+        co = zlib.compressobj(0, zlib.DEFLATED, -15)
+        return co.compress(text) + co.flush()
+    if shape == "fixed":
+        co = zlib.compressobj(6, zlib.DEFLATED, -15, 8, zlib.Z_FIXED)
+        return co.compress(text) + co.flush()
+    if shape == "dynamic_fast":
+        co = zlib.compressobj(1, zlib.DEFLATED, -15)
+        return co.compress(text) + co.flush()
+    if shape == "dynamic_best":
+        co = zlib.compressobj(9, zlib.DEFLATED, -15)
+        return co.compress(text) + co.flush()
+    if shape == "sync_flush":
+        co = zlib.compressobj(6, zlib.DEFLATED, -15)
+        third = len(text) // 3
+        return (
+            co.compress(text[:third])
+            + co.flush(zlib.Z_SYNC_FLUSH)
+            + co.compress(text[third : 2 * third])
+            + co.flush(zlib.Z_SYNC_FLUSH)
+            + co.compress(text[2 * third :])
+            + co.flush()
+        )
+    raise AssertionError(shape)
+
+
+SHAPES = ("stored", "fixed", "dynamic_fast", "dynamic_best", "sync_flush")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("shape", SHAPES)
+def test_differential_decode(seed: int, shape: str):
+    text = make_text(seed)
+    payload = compress_shape(text, shape)
+    reference = zlib.decompress(payload, -15)
+    assert reference == text  # corpus sanity
+
+    fast = inflate(payload)
+    general = inflate(payload, capture_tokens=True)
+    markers = marker_inflate(payload, window=b"")
+
+    # Byte-identical output across every decoder.
+    assert fast.data == reference
+    assert general.data == reference
+    assert bytes(markers.symbols.astype(np.uint8)) == reference
+
+    # Identical final bit positions (the fast loop's buffer writeback
+    # must land the cursor exactly where the per-symbol loop does).
+    assert fast.end_bit == general.end_bit
+    assert markers.end_bit == fast.end_bit
+    assert fast.final_seen and general.final_seen and markers.final_seen
+
+    # Identical block structure.
+    assert [
+        (b.start_bit, b.end_bit, b.out_start, b.out_end, b.btype, b.bfinal)
+        for b in fast.blocks
+    ] == [
+        (b.start_bit, b.end_bit, b.out_start, b.out_end, b.btype, b.bfinal)
+        for b in general.blocks
+    ]

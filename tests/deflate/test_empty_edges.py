@@ -1,0 +1,113 @@
+"""Empty-member and empty-second-stream edges (PR 5 sweep).
+
+A gzip member whose DEFLATE stream is a single stored block of length 0
+(what ``gzip`` emits for an empty file, and what pigz emits between
+sync points) must round-trip anywhere in a multi-member file, and
+``crc32_combine`` must be exact for zero-length second streams.
+"""
+
+from __future__ import annotations
+
+import gzip as stdlib_gzip
+import zlib
+
+import pytest
+
+from repro.deflate.crc32 import Crc32, crc32, crc32_combine
+from repro.deflate.deflate import gzip_compress
+from repro.deflate.gzipfmt import (
+    gzip_unwrap,
+    gzip_wrap,
+    member_payload,
+    split_members,
+    zlib_unwrap,
+)
+from repro.deflate.inflate import inflate
+
+#: Raw DEFLATE stream: one stored block, BFINAL=1, LEN=0 — the smallest
+#: legal DEFLATE stream (what ``zlib.compress(b"")`` emits at level 0).
+EMPTY_STORED_FINAL = bytes([0x01, 0x00, 0x00, 0xFF, 0xFF])
+
+
+class TestEmptyDeflateStream:
+    def test_inflate_empty_stored_final(self):
+        result = inflate(EMPTY_STORED_FINAL)
+        assert result.data == b""
+        assert result.final_seen
+        assert len(result.blocks) == 1
+        assert result.blocks[0].btype == 0
+        assert result.blocks[0].out_start == result.blocks[0].out_end == 0
+
+    def test_stdlib_accepts_our_empty_member(self):
+        gz = gzip_wrap(EMPTY_STORED_FINAL, b"")
+        assert stdlib_gzip.decompress(gz) == b""
+
+    def test_our_compressor_empty_roundtrip(self):
+        gz = gzip_compress(b"")
+        assert gzip_unwrap(gz) == b""
+        assert stdlib_gzip.decompress(gz) == b""
+
+
+class TestEmptyMember:
+    def test_single_empty_member(self):
+        gz = gzip_wrap(EMPTY_STORED_FINAL, b"")
+        assert gzip_unwrap(gz) == b""
+        member = member_payload(gz)
+        assert member.isize == 0
+        assert member.crc == 0  # crc32(b"") == 0
+        assert member.payload_end - member.payload_start == len(EMPTY_STORED_FINAL)
+
+    @pytest.mark.parametrize("position", ["leading", "middle", "trailing"])
+    def test_empty_member_in_multimember_file(self, position):
+        data = b"ACGTACGT" * 64
+        full_member = stdlib_gzip.compress(data, mtime=0)
+        empty_member = gzip_wrap(EMPTY_STORED_FINAL, b"")
+        layout = {
+            "leading": (empty_member + full_member, data),
+            "middle": (full_member + empty_member + full_member, data + data),
+            "trailing": (full_member + empty_member, data),
+        }
+        blob, want = layout[position]
+        assert gzip_unwrap(blob) == want
+        n_members = 2 if position != "middle" else 3
+        assert len(split_members(blob)) == n_members
+
+    def test_empty_second_stream_zlib_container(self):
+        # zlib container analogue: empty payload behind the 2-byte header.
+        blob = zlib.compress(b"")
+        assert zlib_unwrap(blob) == b""
+
+
+class TestCrc32CombineEmpty:
+    def test_combine_with_empty_second_stream(self):
+        a = crc32(b"the first stream")
+        assert crc32_combine(a, crc32(b""), 0) == a
+
+    def test_combine_empty_first_stream(self):
+        b = crc32(b"the second stream")
+        assert crc32_combine(crc32(b""), b, len(b"the second stream")) == b
+
+    def test_combine_both_empty(self):
+        assert crc32_combine(0, 0, 0) == 0
+
+    def test_combine_matches_zlib_on_empty_edges(self):
+        for first, second in [(b"", b""), (b"abc", b""), (b"", b"xyz")]:
+            ours = crc32_combine(crc32(first), crc32(second), len(second))
+            assert ours == zlib.crc32(first + second)
+
+    def test_parallel_chunk_stitch_with_empty_chunk(self):
+        # The pugz CRC stitch: per-chunk CRCs combined left to right,
+        # with one chunk empty (a chunk wholly inside a hole region).
+        chunks = [b"chunk one ", b"", b"chunk three"]
+        combined = 0
+        for chunk in chunks:
+            combined = crc32_combine(combined, crc32(chunk), len(chunk))
+        assert combined == zlib.crc32(b"".join(chunks))
+
+    def test_incremental_accumulator_empty_updates(self):
+        acc = Crc32()
+        acc.update(b"")
+        acc.update(b"data")
+        acc.update(b"")
+        assert acc.value == zlib.crc32(b"data")
+        assert acc.length == 4
