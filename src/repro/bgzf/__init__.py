@@ -6,8 +6,13 @@ from repro.bgzf.format import (
     BgzfBlock,
     bgzf_compress,
     bgzf_decompress,
+    blocks_from_bytes,
+    blocks_to_bytes,
+    load_block_index,
+    load_or_scan_blocks,
     make_virtual_offset,
     read_block,
+    save_block_index,
     scan_blocks,
     split_virtual_offset,
 )
@@ -25,4 +30,9 @@ __all__ = [
     "split_virtual_offset",
     "BGZF_EOF",
     "MAX_BLOCK_INPUT",
+    "blocks_to_bytes",
+    "blocks_from_bytes",
+    "save_block_index",
+    "load_block_index",
+    "load_or_scan_blocks",
 ]

@@ -21,7 +21,8 @@ from dataclasses import dataclass
 from repro.deflate.crc32 import crc32
 from repro.deflate.deflate import deflate_compress
 from repro.deflate.inflate import inflate
-from repro.errors import GzipFormatError
+from repro.errors import GzipFormatError, IndexIntegrityError
+from repro.index.integrity import atomic_write_bytes, seal, unseal
 
 __all__ = [
     "BGZF_EOF",
@@ -33,6 +34,11 @@ __all__ = [
     "read_block",
     "make_virtual_offset",
     "split_virtual_offset",
+    "blocks_to_bytes",
+    "blocks_from_bytes",
+    "save_block_index",
+    "load_block_index",
+    "load_or_scan_blocks",
 ]
 
 #: Largest input chunk per BGZF block (the format caps BSIZE at 2^16).
@@ -167,3 +173,66 @@ def bgzf_decompress(data: bytes, verify: bool = True) -> bytes:
     return b"".join(
         read_block(data, b, verify) for b in scan_blocks(data) if not b.is_eof
     )
+
+
+# -- block-table persistence (crash-safe sidecar) -------------------------
+
+_INDEX_KIND = b"BGZF"
+_BLOCK_STRUCT = struct.Struct("<QII")  # coffset, csize, usize
+
+
+def blocks_to_bytes(blocks: list[BgzfBlock]) -> bytes:
+    """Serialise a block table (the scan result worth caching for huge
+    files: O(#blocks) structs instead of re-walking the BC fields)."""
+    out = bytearray(struct.pack("<I", len(blocks)))
+    for b in blocks:
+        out += _BLOCK_STRUCT.pack(b.coffset, b.csize, b.usize)
+    return bytes(out)
+
+
+def blocks_from_bytes(payload: bytes) -> list[BgzfBlock]:
+    """Inverse of :func:`blocks_to_bytes` (integrity-checked)."""
+    try:
+        (n,) = struct.unpack_from("<I", payload, 0)
+        expected = 4 + n * _BLOCK_STRUCT.size
+        if len(payload) != expected:
+            raise IndexIntegrityError(
+                f"BGZF block table payload is {len(payload)} bytes, "
+                f"expected {expected} for {n} blocks",
+                stage="bgzf",
+            )
+        return [
+            BgzfBlock(*_BLOCK_STRUCT.unpack_from(payload, 4 + i * _BLOCK_STRUCT.size))
+            for i in range(n)
+        ]
+    except struct.error as exc:
+        raise IndexIntegrityError(
+            f"malformed BGZF block table: {exc}", stage="bgzf"
+        ) from exc
+
+
+def save_block_index(path: str, blocks: list[BgzfBlock]) -> None:
+    """Persist a block table crash-safely (sealed + atomic rename)."""
+    atomic_write_bytes(path, seal(_INDEX_KIND, blocks_to_bytes(blocks)))
+
+
+def load_block_index(path: str) -> list[BgzfBlock]:
+    """Load a persisted block table; raises
+    :class:`~repro.errors.IndexIntegrityError` if damaged."""
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    return blocks_from_bytes(unseal(blob, _INDEX_KIND))
+
+
+def load_or_scan_blocks(path: str, data: bytes) -> tuple[list[BgzfBlock], bool]:
+    """Load the block table at ``path``, re-scanning ``data`` and
+    atomically replacing the sidecar if it is missing or damaged.
+
+    Returns ``(blocks, rebuilt)``.
+    """
+    try:
+        return load_block_index(path), False
+    except (FileNotFoundError, IndexIntegrityError):
+        blocks = scan_blocks(data)
+        save_block_index(path, blocks)
+        return blocks, True

@@ -28,10 +28,21 @@ class BgzfReader:
     table) and virtual-offset addressing (the htslib convention).
     """
 
-    def __init__(self, data: bytes, verify: bool = True) -> None:
+    def __init__(
+        self,
+        data: bytes,
+        verify: bool = True,
+        blocks: list[BgzfBlock] | None = None,
+    ) -> None:
+        """``blocks`` may supply a pre-scanned block table (e.g. from a
+        persisted sidecar via
+        :func:`repro.bgzf.format.load_or_scan_blocks`), skipping the
+        O(#blocks) header walk on open."""
         self._data = data
         self._verify = verify
-        self.blocks: list[BgzfBlock] = [b for b in scan_blocks(data) if not b.is_eof]
+        if blocks is None:
+            blocks = scan_blocks(data)
+        self.blocks: list[BgzfBlock] = [b for b in blocks if not b.is_eof]
         self._starts = []  # uncompressed start of each block
         total = 0
         for b in self.blocks:

@@ -54,8 +54,15 @@ def _cmd_decompress(args) -> int:
 
 def _cmd_pugz(args) -> int:
     from repro.core import pugz_decompress
+    from repro.robustness.limits import ResourceBudget
 
     data = _read(args.input)
+    budget = None
+    if args.max_output_bytes is not None or args.max_expansion is not None:
+        budget = ResourceBudget(
+            max_output_bytes=args.max_output_bytes,
+            max_expansion_ratio=args.max_expansion,
+        )
     t0 = time.perf_counter()
     out, report = pugz_decompress(
         data,
@@ -66,6 +73,9 @@ def _cmd_pugz(args) -> int:
         on_error=args.on_error,
         allow_trailing_garbage=args.allow_trailing_garbage,
         max_resync_search_bits=args.max_resync_search_bits,
+        deadline_s=args.deadline,
+        max_retries=args.max_retries,
+        budget=budget,
     )
     dt = time.perf_counter() - t0
     _write(args.output or "-", out)
@@ -219,23 +229,30 @@ def _cmd_recover(args) -> int:
 
 
 def _cmd_index(args) -> int:
-    from repro.index import GzipIndex, build_index
+    from repro.index import GzipIndex, build_index, load_or_rebuild
 
     data = _read(args.input)
     if args.extract is not None:
-        with open(args.index_file, "rb") as fh:
-            idx = GzipIndex.from_bytes(fh.read())
+        if args.auto_rebuild:
+            idx, rebuilt = load_or_rebuild(args.index_file, data, span=args.span)
+            if rebuilt:
+                print(
+                    f"index: {args.index_file} was missing or damaged; "
+                    "rebuilt and replaced atomically",
+                    file=sys.stderr,
+                )
+        else:
+            idx = GzipIndex.load(args.index_file)
         out = idx.read_at(data, args.extract, args.size)
         _write(args.output or "-", out)
         return 0
     t0 = time.perf_counter()
     idx = build_index(data, span=args.span)
-    blob = idx.to_bytes()
-    with open(args.index_file, "wb") as fh:
-        fh.write(blob)
+    idx.save(args.index_file)
     print(
-        f"index: {len(idx.checkpoints)} checkpoints, {len(blob)} bytes, "
-        f"built in {time.perf_counter() - t0:.1f}s",
+        f"index: {len(idx.checkpoints)} checkpoints, "
+        f"built in {time.perf_counter() - t0:.1f}s "
+        "(sealed + checksummed, written atomically)",
         file=sys.stderr,
     )
     return 0
@@ -375,6 +392,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="warn and stop at non-gzip bytes after the last member")
     z.add_argument("--max-resync-search-bits", type=int, default=None,
                    help="bound each recover-mode resync search")
+    z.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="per-chunk deadline: a worker past it is killed and "
+                        "the chunk retried (supervision)")
+    z.add_argument("--max-retries", type=int, default=0,
+                   help="bounded retries per chunk for hung/crashed workers")
+    z.add_argument("--max-output-bytes", type=int, default=None,
+                   help="resource budget: abort with a structured error once "
+                        "resident output would exceed this many bytes")
+    z.add_argument("--max-expansion", type=float, default=None, metavar="RATIO",
+                   help="resource budget: abort when output exceeds RATIO x "
+                        "the compressed input consumed (zip-bomb guard)")
     z.set_defaults(func=_cmd_pugz)
 
     s = sub.add_parser("sync", help="find a DEFLATE block start")
@@ -425,6 +453,9 @@ def build_parser() -> argparse.ArgumentParser:
     x.add_argument("--extract", type=int, default=None,
                    help="uncompressed offset to extract (uses an existing index)")
     x.add_argument("--size", type=int, default=1024)
+    x.add_argument("--auto-rebuild", action="store_true",
+                   help="extract: if the index file is missing or fails its "
+                        "integrity check, rebuild it in place (atomic rename)")
     x.add_argument("-o", "--output")
     x.set_defaults(func=_cmd_index)
 
@@ -439,7 +470,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lnt = sub.add_parser(
         "lint",
-        help="AST + dataflow invariant checker (REP001-REP012)",
+        help="AST + dataflow invariant checker (REP001-REP013)",
         description="Enforce the codebase's decode-safety, error-context "
                     "and parallelism contracts, plus flow-sensitive "
                     "bit/byte-unit and taint rules. Exit 0 clean, "

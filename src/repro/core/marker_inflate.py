@@ -31,7 +31,12 @@ from repro.core import marker
 from repro.deflate import constants as C
 from repro.deflate.bitio import BitReader
 from repro.deflate.inflate import BlockInfo, read_block_header
-from repro.errors import BitstreamError, HuffmanError, BackrefError
+from repro.errors import BitstreamError, HuffmanError, BackrefError, ResourceLimitError
+
+# Mirrors repro.robustness.limits.UNLIMITED_CAP without importing the
+# robustness package (which transitively imports this module); the
+# ``budget`` parameter is duck-typed for the same reason.
+_UNLIMITED_CAP = 1 << 62
 from repro.units import BitOffset
 
 __all__ = ["MarkerInflateResult", "marker_inflate"]
@@ -89,6 +94,7 @@ def marker_inflate(
     max_blocks: int | None = None,
     stop_bit: BitOffset | None = None,
     stop_at_final: bool = True,
+    budget=None,
 ) -> MarkerInflateResult:
     """Decompress a DEFLATE stream into the marker symbol domain.
 
@@ -116,6 +122,15 @@ def marker_inflate(
         thread's chunk begins.
     stop_at_final:
         Stop after a BFINAL=1 block.
+    budget:
+        Optional :class:`repro.robustness.limits.ResourceBudget`
+        (duck-typed).  Unlike the *soft* ``max_output`` truncation,
+        exceeding the budget raises a structured
+        :class:`~repro.errors.ResourceLimitError`: block boundaries
+        check output size, expansion ratio and resident marker-buffer
+        bytes, and the in-block match path refuses any copy that would
+        push the symbol count past ``budget.marker_symbol_cap()``
+        *before* copying (one int comparison per match).
     """
     reader = BitReader(data, start_bit)
     out: list[int] = _seed_window(window)
@@ -130,6 +145,7 @@ def marker_inflate(
     lextra = C.LENGTH_EXTRA_BITS
     dbase = C.DIST_BASE
     dextra = C.DIST_EXTRA_BITS
+    sym_cap = budget.marker_symbol_cap() if budget is not None else _UNLIMITED_CAP
 
     def _flush(final: bool = False) -> None:
         nonlocal out, out_offset, emitted
@@ -168,10 +184,19 @@ def marker_inflate(
             truncated = _decode_block_symbols(
                 reader, header, out,
                 lbase, lextra, dbase, dextra,
-                budget=None if max_output is None else max_output - out_start,
+                soft_limit=None if max_output is None else max_output - out_start,
+                hard_limit=sym_cap - out_start,
             )
 
         out_end = out_offset + len(out)
+        if budget is not None:
+            budget.check_block(
+                out_end,
+                reader.tell_bits() - start_bit,
+                stage="marker_inflate",
+                bit_offset=block_start_bit,
+                marker_buffer_bytes=4 * len(out),
+            )
         blocks.append(
             BlockInfo(
                 start_bit=block_start_bit,
@@ -217,12 +242,17 @@ def _decode_block_symbols(
     lextra,
     dbase,
     dextra,
-    budget: int | None,
+    soft_limit: int | None,
+    hard_limit: int = _UNLIMITED_CAP,
 ) -> bool:
     """Decode one compressed block into the symbol list.
 
-    Returns ``True`` if decoding stopped early because ``budget``
+    Returns ``True`` if decoding stopped early because ``soft_limit``
     symbols were produced (the caller then reports truncation).
+    ``hard_limit`` is the resource-budget symbol cap for this block
+    (absolute symbols it may still produce): a match copy that would
+    exceed it raises :class:`~repro.errors.ResourceLimitError` *before*
+    copying, the in-block half of the zip-bomb guard.
 
     Hot path: the reader's bit-buffer state is mirrored into locals and
     written back on exit (the documented ``_bitbuf``/``_bitcount``
@@ -242,9 +272,9 @@ def _decode_block_symbols(
     end_of_block = C.END_OF_BLOCK
     max_litlen = C.MAX_USED_LITLEN
     max_dist = C.MAX_USED_DIST
-    # A budget of None never triggers truncation: compare against an
+    # A soft limit of None never triggers truncation: compare against an
     # unreachable int bound so the loop keeps one cheap comparison.
-    limit = (1 << 62) if budget is None else budget
+    limit = _UNLIMITED_CAP if soft_limit is None else soft_limit
 
     data = reader._data
     nbytes = reader._nbytes
@@ -382,6 +412,14 @@ def _decode_block_symbols(
                 reader._pos, reader._bitbuf, reader._bitcount = pos, bitbuf, bitcount
                 raise BackrefError(
                     f"distance {distance} exceeds seeded window + history",
+                    bit_offset=reader.tell_bits(), stage="marker_inflate",
+                )
+            if produced + length > hard_limit:
+                reader._pos, reader._bitbuf, reader._bitcount = pos, bitbuf, bitcount
+                raise ResourceLimitError(
+                    f"match copy would grow marker output past the "
+                    f"resource budget ({hard_limit} more symbols allowed)",
+                    limit="marker_symbols",
                     bit_offset=reader.tell_bits(), stage="marker_inflate",
                 )
             if distance >= length:

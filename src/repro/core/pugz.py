@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import time
 import warnings
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -64,9 +65,16 @@ from repro.deflate.gzipfmt import parse_gzip_header
 from repro.deflate.inflate import inflate
 from repro.errors import GzipFormatError, ReproError, annotate
 from repro.parallel.executor import Executor, make_executor
+from repro.parallel.supervision import SupervisionPolicy, is_execution_fault
 from repro.units import BitOffset, ByteOffset
 
-__all__ = ["PugzHole", "PugzReport", "pugz_decompress", "pugz_decompress_payload"]
+__all__ = [
+    "ChunkOutcome",
+    "PugzHole",
+    "PugzReport",
+    "pugz_decompress",
+    "pugz_decompress_payload",
+]
 
 #: Rendering of undecodable positions in recovered output.
 HOLE_BYTE = ord("?")
@@ -104,6 +112,37 @@ class PugzHole:
         }
 
 
+@dataclass(frozen=True)
+class ChunkOutcome:
+    """Supervision record of one chunk of pass 1.
+
+    ``status`` mirrors the corresponding ``chunk_outcomes`` string
+    (``ok`` / ``salvaged`` / ``lost``); ``degraded_to`` names the rung
+    of the degradation ladder that produced the result (``None`` for a
+    clean parallel decode, else ``serial`` / ``zlib`` / ``salvage`` /
+    ``hole``); ``retries`` counts supervised re-attempts and
+    ``wall_time`` the in-worker seconds of the decisive attempt.
+    """
+
+    index: int
+    status: str
+    retries: int = 0
+    degraded_to: str | None = None
+    wall_time: float = 0.0
+    #: Message of the error that forced degradation (``None`` if clean).
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "status": self.status,
+            "retries": self.retries,
+            "degraded_to": self.degraded_to,
+            "wall_time": self.wall_time,
+            "error": self.error,
+        }
+
+
 @dataclass
 class PugzReport:
     """Instrumentation of one parallel decompression run."""
@@ -116,6 +155,9 @@ class PugzReport:
     chunk_marker_counts: list[int] = field(default_factory=list)
     #: Per-chunk outcome of the last member: ``ok`` / ``salvaged`` / ``lost``.
     chunk_outcomes: list[str] = field(default_factory=list)
+    #: Per-chunk supervision detail of the last member (retries,
+    #: degradation rung, wall time) — parallel to ``chunk_outcomes``.
+    chunk_details: list[ChunkOutcome] = field(default_factory=list)
     #: Compressed regions lost to corruption (recover mode; all members).
     holes: list[PugzHole] = field(default_factory=list)
     #: Output positions rendered as ``?`` because their context fell in
@@ -196,19 +238,22 @@ def _pass1_chunk(args) -> tuple[int, np.ndarray, np.ndarray, int, bool, int]:
     A failure is annotated with the chunk index before propagating, so
     captured outcomes name the chunk that died.
     """
-    data, chunk_start, chunk_stop, index = args
+    data, chunk_start, chunk_stop, index, budget = args
     try:
         if index == 0 and chunk_stop is None:
             # Sole chunk with a fully known (empty) context: decode in the
             # byte domain, which is faster and yields a concrete window.
-            result = inflate(data, start_bit=chunk_start, stop_at_final=True)
+            result = inflate(
+                data, start_bit=chunk_start, stop_at_final=True, budget=budget
+            )
             symbols = np.frombuffer(result.data, dtype=np.uint8).astype(np.int32)
             window_syms = np.asarray(
                 _seed_window_array(result.data[-32768:]), dtype=np.int32
             )
             return 0, symbols, window_syms, result.end_bit, result.final_seen, len(result.blocks)
         result = marker_inflate(
-            data, start_bit=chunk_start, window=None, stop_bit=chunk_stop
+            data, start_bit=chunk_start, window=None, stop_bit=chunk_stop,
+            budget=budget,
         )
         return (
             index,
@@ -229,32 +274,46 @@ def _pass2_chunk(args) -> tuple[bytes, int]:
     return translate_chunk_counted(symbols, context, placeholder=placeholder)
 
 
-def _decode_chunk_prefix(data, start_bit: BitOffset, stop_bit: BitOffset | None):
+def _decode_chunk_prefix(
+    data, start_bit: BitOffset, stop_bit: BitOffset | None, budget=None
+):
     """Marker-decode block by block from ``start_bit`` until the first
     failure (or the chunk boundary / BFINAL block).
 
     Returns ``(symbols, window, end_bit, final_seen)`` where ``end_bit``
     is the boundary of the last *cleanly* decoded block — the precise
-    start of the damage when decoding stopped early.
+    start of the damage when decoding stopped early.  A ``budget``
+    bounds the salvage the same way it bounds the clean path: each
+    block is decoded under it, the cumulative symbol count is checked
+    between blocks, and a budget trip simply ends the prefix (recover
+    mode must stay recover mode, but resident memory stays capped).
     """
     window = None  # undetermined initial context
     parts: list[np.ndarray] = []
+    total_symbols = 0
+    sym_cap = budget.marker_symbol_cap() if budget is not None else None
     bit = start_bit
     final = False
     while stop_bit is None or bit < stop_bit:
         try:
             res = marker_inflate(
-                data, start_bit=bit, window=window, max_blocks=1, stop_bit=stop_bit
+                data, start_bit=bit, window=window, max_blocks=1, stop_bit=stop_bit,
+                budget=budget,
             )
         except ReproError:
             break
         if not res.blocks or res.end_bit <= bit:
             break
         parts.append(res.symbols)
+        total_symbols += len(res.symbols)
         window = res.window
         bit = res.end_bit
         if res.final_seen:
             final = True
+            break
+        if sym_cap is not None and total_symbols >= sym_cap:
+            # Per-block budgets cannot see across blocks; this check
+            # makes the cap cumulative over the salvaged prefix.
             break
     symbols = (
         np.concatenate(parts) if parts else np.zeros(0, dtype=np.int32)
@@ -273,6 +332,7 @@ def _salvage_chunk(
     confirm_blocks: int,
     max_resync_search_bits: int | None,
     err: BaseException,
+    budget=None,
 ) -> tuple[list[_Segment], list[PugzHole]]:
     """Best-effort decode of a chunk that failed in pass 1.
 
@@ -280,14 +340,24 @@ def _salvage_chunk(
     (the Section VI-A machinery) until the chunk's compressed region is
     exhausted, producing zero or more salvaged segments and one hole
     per undecodable span.  The final segment's window hands the correct
-    (possibly partially unknown) context to the next chunk.
+    (possibly partially unknown) context to the next chunk.  A
+    ``budget`` caps the *cumulative* salvaged symbols: once spent, the
+    rest of the region becomes one hole instead of more output.
     """
     segments: list[_Segment] = []
     holes: list[PugzHole] = []
+    total_symbols = 0
+    sym_cap = budget.marker_symbol_cap() if budget is not None else None
     bit = chunk.start_bit
     chained = True  # the first piece continues the previous chunk's context
     while bit < region_end:
-        symbols, window, end, final = _decode_chunk_prefix(data, bit, chunk.stop_bit)
+        if sym_cap is not None and total_symbols >= sym_cap:
+            holes.append(PugzHole(chunk.index, bit, region_end, str(err)))
+            break
+        symbols, window, end, final = _decode_chunk_prefix(
+            data, bit, chunk.stop_bit, budget
+        )
+        total_symbols += len(symbols)
         if len(symbols):
             segments.append(
                 _Segment(chunk.index, symbols, window, end, final, chained)
@@ -325,6 +395,45 @@ def _salvage_chunk(
     return segments, holes
 
 
+def _zlib_fallback(data, start_byte: int, budget=None):
+    """Reference-decoder rung of the degradation ladder.
+
+    Decode the whole raw DEFLATE stream at ``start_byte`` with zlib.
+    Only chunk 0 can use this: it is the only chunk whose context is
+    fully known and whose start is byte-aligned, which is all zlib can
+    consume.  Useful when *our* decoder rejects a stream that is in
+    fact valid (a reproduction bug or unsupported construct) — zlib's
+    verdict is the ground truth the test suite pins everything to.
+
+    Returns ``(bytes, end_bit)`` on success, ``None`` when zlib also
+    rejects the stream (real corruption), finds it truncated, or the
+    output would exceed ``budget`` (a zip bomb must not bypass the
+    resource budget by riding the fallback rung).
+    """
+    buf = bytes(data[start_byte:])
+    d = zlib.decompressobj(wbits=-zlib.MAX_WBITS)
+    out = bytearray()
+    cap = budget.output_cap() if budget is not None else None
+    pending = buf
+    try:
+        # Bounded: every iteration either emits output (capped) or hits
+        # a terminal branch below.
+        while True:
+            chunk = d.decompress(pending, 1 << 20)
+            out += chunk
+            if cap is not None and len(out) > cap:
+                return None
+            if d.eof:
+                break
+            pending = d.unconsumed_tail
+            if not chunk and not pending:
+                return None  # stream truncated: zlib wants more input
+    except zlib.error:
+        return None
+    end_bit = 8 * (start_byte + len(buf) - len(d.unused_data))
+    return bytes(out), end_bit
+
+
 def pugz_decompress_payload(
     data,
     start_bit: int,
@@ -337,6 +446,8 @@ def pugz_decompress_payload(
     on_error: str = "raise",
     max_resync_search_bits: int | None = None,
     placeholder: int = HOLE_BYTE,
+    budget=None,
+    supervision: SupervisionPolicy | None = None,
 ) -> bytes:
     """Two-pass parallel decompression of one raw DEFLATE payload.
 
@@ -350,6 +461,15 @@ def pugz_decompress_payload(
     raising (see the module docstring); lost spans are recorded in the
     report's ``holes`` and unknown output positions render as
     ``placeholder``.
+
+    ``budget`` (a :class:`~repro.robustness.limits.ResourceBudget`)
+    bounds each chunk's resident output; ``supervision`` (a
+    :class:`~repro.parallel.supervision.SupervisionPolicy`) adds
+    per-task deadlines and bounded retries to both passes.  A chunk
+    whose *execution* failed terminally (deadline, dead worker) is
+    re-decoded serially in-process — an exact, merely slower result —
+    before the lossy salvage rungs are considered; the rung used is
+    recorded per chunk in the report's ``chunk_details``.
     """
     if on_error not in ("raise", "recover"):
         raise ValueError(f"on_error must be 'raise' or 'recover', got {on_error!r}")
@@ -374,15 +494,29 @@ def pugz_decompress_payload(
     jobs = []
     for c in chunks:
         stop = c.stop_bit if c.stop_bit is not None else None
-        jobs.append((data, c.start_bit, stop, c.index))
-    outcomes = executor.map_outcomes(_pass1_chunk, jobs)
+        jobs.append((data, c.start_bit, stop, c.index, budget))
+    outcomes = executor.map_outcomes(_pass1_chunk, jobs, supervision)
 
     per_chunk: list[tuple[list[_Segment], list[PugzHole], str]] = []
+    details: list[ChunkOutcome] = []
     total_blocks = 0
     for c, oc in zip(chunks, outcomes):
         region_end = c.stop_bit if c.stop_bit is not None else end_bit
-        if oc.ok:
-            index, symbols, window, seg_end, final_seen, n_blocks = oc.value
+        value = oc.value if oc.ok else None
+        err = None if oc.ok else oc.error
+        degraded: str | None = None
+        if err is not None and is_execution_fault(err):
+            # Ladder rung 2: the *execution* failed, not the data — a
+            # serial in-process re-decode is exact, just slower, so it
+            # applies in both error modes.
+            try:
+                value = _pass1_chunk((data, c.start_bit, c.stop_bit, c.index, budget))
+                degraded = "serial"
+                err = None
+            except ReproError as exc:
+                err = exc
+        if value is not None:
+            index, symbols, window, seg_end, final_seen, n_blocks = value
             total_blocks += n_blocks
             per_chunk.append(
                 (
@@ -391,15 +525,51 @@ def pugz_decompress_payload(
                     "ok",
                 )
             )
+            details.append(
+                ChunkOutcome(c.index, "ok", oc.retries, degraded, oc.wall_time)
+            )
             continue
-        if on_error == "raise" or not isinstance(oc.error, ReproError):
-            raise oc.error
+        if on_error == "raise" or not isinstance(err, ReproError):
+            raise err
+        if c.index == 0 and c.start_bit % 8 == 0:
+            # Ladder rung 3 (chunk 0 only — the one chunk with known
+            # context and byte alignment): ask the zlib reference
+            # decoder for the whole payload.  Success means the stream
+            # was valid all along and the output is exact.
+            fallback = _zlib_fallback(data, c.start_bit // 8, budget)
+            if fallback is not None:
+                fb_out, fb_end = fallback
+                report.chunks = [c]
+                report.chunk_outcomes = ["ok"]
+                report.chunk_details = [
+                    ChunkOutcome(
+                        0, "ok", oc.retries, "zlib", oc.wall_time, error=str(err)
+                    )
+                ]
+                report.chunk_output_sizes = [len(fb_out)]
+                report.chunk_marker_counts = [0]
+                report.end_bit = fb_end
+                report.output_size += len(fb_out)
+                report.pass1_seconds += time.perf_counter() - t0
+                return fb_out
+        # Ladder rung 4: block-by-block salvage with resync; whatever
+        # stays undecodable becomes an explicit hole.
         segments, holes = _salvage_chunk(
-            data, c, region_end, confirm_blocks, max_resync_search_bits, oc.error
+            data, c, region_end, confirm_blocks, max_resync_search_bits, err,
+            budget,
         )
         total_blocks += sum(1 for s in segments if len(s.symbols))
-        per_chunk.append(
-            (segments, holes, "salvaged" if any(len(s.symbols) for s in segments) else "lost")
+        status = "salvaged" if any(len(s.symbols) for s in segments) else "lost"
+        per_chunk.append((segments, holes, status))
+        details.append(
+            ChunkOutcome(
+                c.index,
+                status,
+                oc.retries,
+                "salvage" if status == "salvaged" else "hole",
+                oc.wall_time,
+                error=str(err),
+            )
         )
 
     # A chunk that decoded a BFINAL block marks the true stream end
@@ -410,11 +580,13 @@ def pugz_decompress_payload(
         if any(s.final_seen for s in segs):
             per_chunk = per_chunk[: k + 1]
             chunks = chunks[: k + 1]
+            details = details[: k + 1]
             report.chunks = chunks
             break
 
     segments = [s for segs, _, _ in per_chunk for s in segs]
     report.chunk_outcomes = [outcome for _, _, outcome in per_chunk]
+    report.chunk_details = details
     for _, holes, _ in per_chunk:
         report.holes.extend(holes)
     report.pass1_seconds += time.perf_counter() - t0
@@ -458,7 +630,18 @@ def pugz_decompress_payload(
     pass2_jobs = [
         (seg.symbols, ctx, hole_byte) for seg, ctx in zip(segments, contexts)
     ]
-    translated = executor.map(_pass2_chunk, pass2_jobs) if pass2_jobs else []
+    if not pass2_jobs:
+        translated = []
+    elif supervision is not None and supervision.active:
+        # Translation is deterministic, so any post-retry failure here
+        # is an unrecoverable execution fault: raise it.
+        p2 = executor.map_outcomes(_pass2_chunk, pass2_jobs, supervision)
+        for p2_oc in p2:
+            if not p2_oc.ok:
+                raise p2_oc.error
+        translated = [p2_oc.value for p2_oc in p2]
+    else:
+        translated = executor.map(_pass2_chunk, pass2_jobs)
     out = b"".join(piece for piece, _ in translated)
     report.unresolved_markers += sum(count for _, count in translated)
     report.pass2_seconds += time.perf_counter() - t0
@@ -477,6 +660,10 @@ def pugz_decompress(
     on_error: str = "raise",
     allow_trailing_garbage: bool = False,
     max_resync_search_bits: int | None = None,
+    deadline_s: float | None = None,
+    max_retries: int = 0,
+    budget=None,
+    supervision: SupervisionPolicy | None = None,
 ):
     """Parallel decompression of a gzip file (the paper's ``pugz``).
 
@@ -510,9 +697,25 @@ def pugz_decompress(
         raising.  Implied by ``on_error="recover"``.
     max_resync_search_bits:
         Bound on each recover-mode resync search (bits past the fault).
+    deadline_s / max_retries:
+        Supervision shorthand: bound the wait for each chunk's result
+        and retry execution faults (hung/dead workers) that many times
+        with seeded exponential backoff.  ``supervision`` accepts a
+        full :class:`~repro.parallel.supervision.SupervisionPolicy`
+        instead (mutually exclusive with the shorthand).
+    budget:
+        A :class:`~repro.robustness.limits.ResourceBudget` bounding
+        each chunk's resident output (zip-bomb defense); exceeding it
+        raises :class:`~repro.errors.ResourceLimitError`.
     """
     if on_error not in ("raise", "recover"):
         raise ValueError(f"on_error must be 'raise' or 'recover', got {on_error!r}")
+    if supervision is not None and (deadline_s is not None or max_retries):
+        raise ValueError(
+            "pass either supervision= or the deadline_s/max_retries shorthand, not both"
+        )
+    if supervision is None and (deadline_s is not None or max_retries):
+        supervision = SupervisionPolicy(deadline_s=deadline_s, max_retries=max_retries)
     if isinstance(executor, str):
         executor = make_executor(executor, n_chunks)
     report = PugzReport(n_chunks_requested=n_chunks)
@@ -551,6 +754,8 @@ def pugz_decompress(
             report=report,
             on_error=on_error,
             max_resync_search_bits=max_resync_search_bits,
+            budget=budget,
+            supervision=supervision,
         )
         payload_end = (report.end_bit + 7) // 8
         if n - payload_end < 8:

@@ -75,7 +75,7 @@ def iter_pugz(
 
     for stripe_start in range(0, len(chunks), stripe_chunks):
         stripe = chunks[stripe_start : stripe_start + stripe_chunks]
-        jobs = [(gz_data, c.start_bit, c.stop_bit, c.index) for c in stripe]
+        jobs = [(gz_data, c.start_bit, c.stop_bit, c.index, None) for c in stripe]
         results = executor.map(_pass1_chunk, jobs)
         results.sort(key=lambda r: r[0])
         symbol_arrays = [r[1] for r in results]

@@ -32,7 +32,16 @@ from repro.errors import (
     BlockHeaderError,
     BlockSizeError,
     HuffmanError,
+    ResourceLimitError,
 )
+
+# Sentinel cap for the fast loop's single-compare zip-bomb guard; kept
+# local (mirroring repro.robustness.limits.UNLIMITED_CAP) because this
+# module must not import the robustness package — repro.robustness
+# transitively imports the decode pipeline, and a module-level import
+# here would close that cycle.  The ``budget`` parameter is duck-typed
+# for the same reason.
+_UNLIMITED_CAP = 1 << 62
 
 __all__ = [
     "BlockHeader",
@@ -235,6 +244,7 @@ def inflate(
     max_blocks: int | None = None,
     max_output: int | None = None,
     stop_at_final: bool = True,
+    budget=None,
 ) -> InflateResult:
     """Decompress a raw DEFLATE stream.
 
@@ -260,6 +270,16 @@ def inflate(
     stop_at_final:
         Stop after a BFINAL=1 block (set ``False`` to keep decoding a
         concatenation of streams, which callers split themselves).
+    budget:
+        Optional :class:`repro.robustness.limits.ResourceBudget`
+        (duck-typed to avoid an import cycle).  Unlike the *soft*
+        ``max_output`` limit, exceeding the budget raises a structured
+        :class:`~repro.errors.ResourceLimitError`: the per-block check
+        bounds literal growth, and the fast loop refuses any match copy
+        that would push output past ``budget.output_cap()`` *before*
+        copying — so a zip bomb errors out with resident output still
+        under the cap (worst-case overshoot is one literal-only block,
+        itself bounded by 8x the compressed input).
 
     Returns
     -------
@@ -277,6 +297,7 @@ def inflate(
     final_seen = False
     hit_final_probe = False
 
+    hard_cap = prefix + (budget.output_cap() if budget is not None else _UNLIMITED_CAP)
     ascii_mask = C.ASCII_MASK if strict else None
     lbase = C.LENGTH_BASE
     lextra = C.LENGTH_EXTRA_BITS
@@ -325,9 +346,16 @@ def inflate(
                 strict=strict,
             )
         else:
-            _decode_huffman_block_fast(reader, header, out)
+            _decode_huffman_block_fast(reader, header, out, hard_cap)
 
         out_end = len(out)
+        if budget is not None:
+            budget.check_block(
+                out_end - prefix,
+                reader.tell_bits() - start_bit,
+                stage="inflate",
+                bit_offset=block_start_bit,
+            )
         if strict:
             size = out_end - out_start
             # An empty stored block is a sync-flush marker (pigz emits one
@@ -504,8 +532,19 @@ def _decode_huffman_block(
             )
 
 
-def _decode_huffman_block_fast(reader: BitReader, header: BlockHeader, out: bytearray) -> None:
+def _decode_huffman_block_fast(
+    reader: BitReader,
+    header: BlockHeader,
+    out: bytearray,
+    hard_cap: int = _UNLIMITED_CAP,
+) -> None:
     """Fast-path symbol loop: non-strict decode without token capture.
+
+    ``hard_cap`` is the absolute ``len(out)`` (window prefix included)
+    that a match copy may not exceed — the in-loop half of the
+    zip-bomb guard (see :func:`inflate`'s ``budget``).  It costs one
+    int comparison per match; literal growth is left to the amortized
+    block-boundary check, which bounds it at one block's worth.
 
     Semantics are identical to :func:`_decode_huffman_block` with
     ``strict=False``/``tokens=None`` (the differential fuzz suite pins
@@ -673,6 +712,14 @@ def _decode_huffman_block_fast(reader: BitReader, header: BlockHeader, out: byte
                 reader._pos, reader._bitbuf, reader._bitcount = pos, bitbuf, bitcount
                 raise BackrefError(
                     f"distance {distance} exceeds available history {len(out)}",
+                    bit_offset=reader.tell_bits(), stage="inflate",
+                )
+            if len(out) + length > hard_cap:
+                reader._pos, reader._bitbuf, reader._bitcount = pos, bitbuf, bitcount
+                raise ResourceLimitError(
+                    f"match copy would grow output to {len(out) + length} bytes, "
+                    f"past the {hard_cap}-byte resource budget",
+                    limit="output_bytes",
                     bit_offset=reader.tell_bits(), stage="inflate",
                 )
             if distance >= length:

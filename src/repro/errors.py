@@ -44,6 +44,11 @@ __all__ = [
     "GzipFormatError",
     "SyncError",
     "RandomAccessError",
+    "ResourceLimitError",
+    "SupervisionError",
+    "DeadlineExceededError",
+    "WorkerCrashError",
+    "IndexIntegrityError",
     "annotate",
 ]
 
@@ -196,4 +201,72 @@ class RandomAccessError(ReproError):
     """Random-access decompression could not produce the requested data
 
     (e.g. no sequence-resolved block before end of file).
+    """
+
+
+class ResourceLimitError(ReproError):
+    """A configured :class:`repro.robustness.limits.ResourceBudget` was
+
+    exceeded (output bytes, expansion ratio, or marker-buffer bytes).
+    Raised *before* the offending allocation is made wherever the hot
+    loops can predict it (match copies), and at the next block boundary
+    otherwise, so resident memory stays bounded on hostile inputs
+    (zip bombs).  Carries the standard bit_offset/chunk_index/stage
+    context plus the limit that tripped.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        limit: str | None = None,
+        bit_offset: int | None = None,
+        chunk_index: int | None = None,
+        stage: str | None = None,
+    ) -> None:
+        super().__init__(
+            message, bit_offset=bit_offset, chunk_index=chunk_index, stage=stage
+        )
+        #: Which budget field tripped (``output_bytes`` /
+        #: ``expansion_ratio`` / ``marker_buffer_bytes``).
+        self.limit = limit
+
+    def __reduce__(self):
+        cls, args, state = super().__reduce__()
+        state = dict(state)
+        state["limit"] = self.limit
+        return (cls, args, state)
+
+
+class SupervisionError(ReproError):
+    """Base class for *execution* failures (as opposed to data failures):
+
+    the worker running a task misbehaved, while the input bytes may be
+    perfectly fine.  The supervision layer retries these; it never
+    retries deterministic data errors (:class:`DeflateError` etc.).
+    """
+
+
+class DeadlineExceededError(SupervisionError):
+    """A supervised task did not finish within its per-task deadline.
+
+    For process pools the hung worker is killed and the pool rebuilt;
+    for thread pools the runaway thread is abandoned (threads cannot be
+    killed) and its eventual result discarded.
+    """
+
+
+class WorkerCrashError(SupervisionError):
+    """A pool worker died (``BrokenProcessPool`` / abrupt exit) while
+
+    running a supervised task.  The pool is rebuilt before any retry.
+    """
+
+
+class IndexIntegrityError(ReproError):
+    """A persisted index file (zran checkpoints, BGZF block table) failed
+
+    its integrity check on load: bad magic, unsupported version,
+    truncation, or checksum mismatch.  Callers can treat this as
+    "rebuild the index" (see ``load_or_rebuild``).
     """

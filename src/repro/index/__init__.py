@@ -1,5 +1,19 @@
-"""Checkpoint index for gzip random access (paper related work, ref [11])."""
+"""Checkpoint index for gzip random access (paper related work, ref [11]).
 
-from repro.index.zran import Checkpoint, GzipIndex, build_index
+Index sidecar files are persisted crash-safely: sealed with a version
+and CRC32 (:mod:`repro.index.integrity`), written via atomic rename,
+and self-healing on load (:func:`repro.index.zran.load_or_rebuild`).
+"""
 
-__all__ = ["build_index", "GzipIndex", "Checkpoint"]
+from repro.index.integrity import atomic_write_bytes, seal, unseal
+from repro.index.zran import Checkpoint, GzipIndex, build_index, load_or_rebuild
+
+__all__ = [
+    "build_index",
+    "GzipIndex",
+    "Checkpoint",
+    "load_or_rebuild",
+    "seal",
+    "unseal",
+    "atomic_write_bytes",
+]

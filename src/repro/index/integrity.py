@@ -1,0 +1,127 @@
+"""Crash-safe persistence for index sidecar files.
+
+A random-access index (zran checkpoints, BGZF block tables) is derived
+state: losing it costs a rebuild, but *silently corrupted* index data
+is far worse — a bit-flipped checkpoint window decodes garbage with no
+error anywhere.  This module makes index files fail loudly instead:
+
+* every file is a **sealed envelope**: magic, a 4-byte kind tag, a
+  format version, the payload length, and a CRC32 of the payload —
+  truncation, bit flips and wrong-file mistakes are all detected at
+  load as a structured :class:`~repro.errors.IndexIntegrityError`;
+* writes are **atomic**: the blob goes to a temp file in the target
+  directory, is fsynced, then ``os.replace``d over the destination —
+  a crash mid-write leaves the old index intact, never a torn file;
+* loaders offer an **auto-rebuild** path: on integrity failure the
+  caller's builder runs and its output is atomically written back, so
+  a damaged sidecar heals itself on first use.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import tempfile
+import zlib
+
+from repro.errors import IndexIntegrityError
+
+__all__ = [
+    "ENVELOPE_MAGIC",
+    "ENVELOPE_VERSION",
+    "atomic_write_bytes",
+    "seal",
+    "unseal",
+]
+
+#: Envelope magic — distinct from any payload's own magic so that a
+#: legacy (unsealed) file is recognised as such, not as corruption.
+ENVELOPE_MAGIC = b"RPIDX\x00\r\n"
+
+#: Current envelope format version (the *payload* may version itself
+#: separately; this versions the sealing layer).
+ENVELOPE_VERSION = 2
+
+# magic(8) kind(4) version(H) payload_len(Q) crc32(I)
+_HEADER = struct.Struct("<8s4sHQI")
+
+
+def seal(kind: bytes, payload: bytes, version: int = ENVELOPE_VERSION) -> bytes:
+    """Wrap ``payload`` in a checksummed, versioned envelope.
+
+    ``kind`` is a 4-byte tag naming the payload format (``b"ZRAN"``,
+    ``b"BGZF"``) so an index of one kind can never be loaded as
+    another.
+    """
+    if len(kind) != 4:
+        raise ValueError(f"kind must be exactly 4 bytes, got {kind!r}")
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return _HEADER.pack(ENVELOPE_MAGIC, kind, version, len(payload), crc) + payload
+
+
+def unseal(blob: bytes, kind: bytes, max_version: int = ENVELOPE_VERSION) -> bytes:
+    """Validate an envelope and return its payload.
+
+    Raises :class:`~repro.errors.IndexIntegrityError` on bad magic,
+    wrong kind, unsupported version, truncation, trailing junk, or
+    checksum mismatch — every way a sidecar file can rot.
+    """
+    if len(blob) < _HEADER.size:
+        raise IndexIntegrityError(
+            f"index envelope truncated: {len(blob)} bytes < {_HEADER.size}-byte header",
+            stage="index",
+        )
+    magic, got_kind, version, length, crc = _HEADER.unpack_from(blob)
+    if magic != ENVELOPE_MAGIC:
+        raise IndexIntegrityError(
+            f"bad index envelope magic {magic!r}", stage="index"
+        )
+    if got_kind != kind:
+        raise IndexIntegrityError(
+            f"index kind mismatch: file is {got_kind!r}, expected {kind!r}",
+            stage="index",
+        )
+    if version > max_version:
+        raise IndexIntegrityError(
+            f"index envelope version {version} newer than supported {max_version}",
+            stage="index",
+        )
+    payload = blob[_HEADER.size:]
+    if len(payload) != length:
+        raise IndexIntegrityError(
+            f"index payload length {len(payload)} != declared {length} "
+            "(truncated or torn write)",
+            stage="index",
+        )
+    actual = zlib.crc32(payload) & 0xFFFFFFFF
+    if actual != crc:
+        raise IndexIntegrityError(
+            f"index payload checksum mismatch: stored {crc:#010x}, "
+            f"computed {actual:#010x}",
+            stage="index",
+        )
+    return payload
+
+
+def atomic_write_bytes(path: str, blob: bytes) -> None:
+    """Write ``blob`` to ``path`` atomically (tmp file + ``os.replace``).
+
+    The temp file lives in the destination directory so the final
+    rename never crosses a filesystem boundary; the data is fsynced
+    before the rename, so after a crash the path holds either the old
+    file or the complete new one — never a prefix.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(prefix=".idx-", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass  # already renamed or never created
+        raise

@@ -19,12 +19,15 @@ from dataclasses import dataclass
 
 from repro.deflate.gzipfmt import parse_gzip_header
 from repro.deflate.inflate import inflate
-from repro.errors import GzipFormatError, RandomAccessError
+from repro.errors import GzipFormatError, IndexIntegrityError, RandomAccessError
+from repro.index.integrity import atomic_write_bytes, seal, unseal
 from repro.units import BitOffset, ByteOffset
 
-__all__ = ["Checkpoint", "GzipIndex", "build_index"]
+__all__ = ["Checkpoint", "GzipIndex", "build_index", "load_or_rebuild"]
 
 _MAGIC = b"RPZIDX1\x00"
+#: Kind tag inside the sealed envelope (see repro.index.integrity).
+_KIND = b"ZRAN"
 
 
 @dataclass(frozen=True)
@@ -95,17 +98,52 @@ class GzipIndex:
     def from_bytes(cls, data: bytes) -> "GzipIndex":
         if data[: len(_MAGIC)] != _MAGIC:
             raise GzipFormatError("not a gzip index blob", stage="zran")
-        pos = len(_MAGIC)
-        usize, span, n = struct.unpack_from("<QQI", data, pos)
-        pos += 20
-        cps = []
-        for _ in range(n):
-            bit_offset, uoffset, clen = struct.unpack_from("<QQI", data, pos)
+        try:
+            pos = len(_MAGIC)
+            usize, span, n = struct.unpack_from("<QQI", data, pos)
             pos += 20
-            window = zlib.decompress(data[pos : pos + clen])
-            pos += clen
-            cps.append(Checkpoint(bit_offset, uoffset, window))
+            cps = []
+            for _ in range(n):
+                bit_offset, uoffset, clen = struct.unpack_from("<QQI", data, pos)
+                pos += 20
+                if pos + clen > len(data):
+                    raise IndexIntegrityError(
+                        f"zran index truncated inside checkpoint {len(cps)}",
+                        stage="zran",
+                    )
+                window = zlib.decompress(data[pos : pos + clen])
+                pos += clen
+                cps.append(Checkpoint(bit_offset, uoffset, window))
+        except (struct.error, zlib.error) as exc:
+            # Malformed contents past the magic: surface as the
+            # structured integrity error, not a parser crash.
+            raise IndexIntegrityError(
+                f"malformed zran index blob: {exc}", stage="zran"
+            ) from exc
         return cls(checkpoints=cps, usize=usize, span=span)
+
+    # -- crash-safe file persistence ----------------------------------
+
+    def save(self, path: str) -> None:
+        """Write the index to ``path``: sealed (versioned + CRC32
+        checksummed, see :mod:`repro.index.integrity`) and atomically
+        renamed into place, so a crash mid-write can never leave a
+        torn sidecar."""
+        atomic_write_bytes(path, seal(_KIND, self.to_bytes()))
+
+    @classmethod
+    def load(cls, path: str) -> "GzipIndex":
+        """Read an index file written by :meth:`save`.
+
+        Legacy files (the bare v1 blob without an envelope) are still
+        accepted; anything else that fails validation raises
+        :class:`~repro.errors.IndexIntegrityError`.
+        """
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        if blob[: len(_MAGIC)] == _MAGIC:
+            return cls.from_bytes(blob)  # legacy unsealed v1 file
+        return cls.from_bytes(unseal(blob, _KIND))
 
 
 def build_index(gz_data: bytes, span: int = 1 << 20) -> GzipIndex:
@@ -134,3 +172,23 @@ def build_index(gz_data: bytes, span: int = 1 << 20) -> GzipIndex:
             )
             next_target = block.out_start + span
     return GzipIndex(checkpoints=checkpoints, usize=len(data), span=span)
+
+
+def load_or_rebuild(
+    path: str, gz_data: bytes, span: int = 1 << 20
+) -> tuple[GzipIndex, bool]:
+    """Load the index at ``path``, rebuilding it if missing or damaged.
+
+    Returns ``(index, rebuilt)``.  A load that fails its integrity
+    check (truncation, bit flip, wrong kind — any
+    :class:`~repro.errors.IndexIntegrityError`) or finds no file
+    triggers a fresh :func:`build_index` from ``gz_data``; the
+    replacement is sealed and atomically renamed over the damaged
+    file, so the sidecar self-heals without ever being torn.
+    """
+    try:
+        return GzipIndex.load(path), False
+    except (FileNotFoundError, IndexIntegrityError, GzipFormatError):
+        index = build_index(gz_data, span=span)
+        index.save(path)
+        return index, True

@@ -4,6 +4,7 @@ Each module holds one rule; the import side effect (the ``@register``
 decorator) is what :func:`repro.lint.registry.all_rules` relies on.
 """
 
+from repro.lint.rules.bounded_retry import BoundedRetryRule
 from repro.lint.rules.context import ErrorContextRule
 from repro.lint.rules.defaults import MutableDefaultRule
 from repro.lint.rules.excepts import BroadExceptRule
@@ -18,6 +19,7 @@ from repro.lint.rules.unit_confusion import UnitConfusionRule
 from repro.lint.rules.unvalidated_decode import UnvalidatedDecodeRule
 
 __all__ = [
+    "BoundedRetryRule",
     "ErrorContextRule",
     "MutableDefaultRule",
     "BroadExceptRule",

@@ -1,0 +1,120 @@
+"""REP013 — retry loops in the supervision layer must be bounded.
+
+``repro.parallel`` and ``repro.robustness`` exist to turn worker
+faults into recoveries; the classic bug in that kind of code is the
+*unbounded* retry loop — ``while True: try ... except: continue`` —
+which converts a persistent fault (a corrupt chunk that always raises,
+a pool that breaks on every rebuild) into a spin that never returns.
+The supervision design rule is that every retry loop spends from an
+explicit attempt budget (``n_tasks * (max_retries + 1)`` submissions in
+``_pool_map``), so termination is guaranteed under *any* fault pattern.
+
+Flagged: a ``while`` loop, in either package, whose body contains an
+exception handler that swallows the exception (no ``raise`` in the
+handler — i.e. the loop will iterate again after a failure) and whose
+test/body never compares against an attempt bound (a name matching
+``attempt``/``retr*``/``tries``/``budget``/``remaining``/``deadline``).
+``for`` loops are exempt — their iterator bounds them.
+
+Escape hatch: ``# lint: allow-unbounded-retry(<reason>)`` on the
+``while`` line, for loops bounded by means the heuristic cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.module import ModuleInfo
+from repro.lint.registry import Rule, register
+
+__all__ = ["BoundedRetryRule"]
+
+_SCOPED_PACKAGES = ("repro.parallel", "repro.robustness")
+_BOUND_NAME = re.compile(r"attempt|retr|tries|budget|remaining|deadline", re.I)
+
+# Nested scopes are separate termination arguments: a handler inside a
+# closure defined in the loop does not make the loop itself a retrier.
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _walk_same_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested def/class scopes."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(child, _SCOPE_NODES):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def _swallowing_handler(loop: ast.While) -> ast.ExceptHandler | None:
+    """First handler in the loop body that catches without re-raising."""
+    for node in _walk_same_scope(loop):
+        if isinstance(node, ast.ExceptHandler):
+            if not any(isinstance(n, ast.Raise) for n in ast.walk(node)):
+                return node
+    return None
+
+
+def _references_bound(loop: ast.While) -> bool:
+    """True if any comparison in the loop involves an attempt-bound name."""
+    for node in [loop.test, *loop.body]:
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Compare):
+                continue
+            for term in ast.walk(sub):
+                if isinstance(term, ast.Name) and _BOUND_NAME.search(term.id):
+                    return True
+                if isinstance(term, ast.Attribute) and _BOUND_NAME.search(term.attr):
+                    return True
+    return False
+
+
+@register
+class BoundedRetryRule(Rule):
+    rule_id = "REP013"
+    slug = "unbounded-retry"
+    summary = (
+        "while-loops that swallow exceptions in repro.parallel / "
+        "repro.robustness must compare against an attempt bound"
+    )
+    example_bad = (
+        "while True:\n"
+        "    try:\n"
+        "        return pool.submit(fn, item).result()\n"
+        "    except BrokenExecutor:\n"
+        "        pool = _new_pool()\n"
+    )
+    example_good = (
+        "while todo and submission_budget > 0:\n"
+        "    submission_budget -= 1\n"
+        "    try:\n"
+        "        return pool.submit(fn, item).result()\n"
+        "    except BrokenExecutor:\n"
+        "        pool = _new_pool()\n"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if not module.in_package(*_SCOPED_PACKAGES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.While):
+                continue
+            handler = _swallowing_handler(node)
+            if handler is None or _references_bound(node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                "retry loop without an attempt bound: the handler at line "
+                f"{handler.lineno} swallows the exception, so a persistent "
+                "fault spins this loop forever",
+                hint=(
+                    "spend from an explicit budget (e.g. 'while todo and "
+                    "submission_budget > 0') or annotate with "
+                    "# lint: allow-unbounded-retry(<reason>)"
+                ),
+            )

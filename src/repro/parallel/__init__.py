@@ -1,12 +1,22 @@
-"""Execution backends (serial / thread / process) for the decompressor."""
+"""Execution backends (serial / thread / process) for the decompressor,
+
+plus the supervision layer (per-task deadlines, hung-worker recovery,
+bounded seeded retries) that makes them safe to run unattended.
+"""
 
 from repro.parallel.executor import (
+    EXECUTOR_KINDS,
     Executor,
     Outcome,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
     make_executor,
+)
+from repro.parallel.supervision import (
+    SupervisionPolicy,
+    is_execution_fault,
+    supervised_map_outcomes,
 )
 
 __all__ = [
@@ -16,4 +26,8 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "make_executor",
+    "EXECUTOR_KINDS",
+    "SupervisionPolicy",
+    "supervised_map_outcomes",
+    "is_execution_fault",
 ]

@@ -12,11 +12,21 @@ Three interchangeable strategies behind one ``map``-shaped interface:
 
 Work functions submitted to :class:`ProcessExecutor` must be picklable
 (module-level functions).
+
+Supervision
+-----------
+
+:meth:`Executor.map_outcomes` optionally takes a
+:class:`~repro.parallel.supervision.SupervisionPolicy`: per-task
+deadlines, hung-worker detection (a process pool with a stuck worker is
+killed and rebuilt), and bounded seeded-backoff retries for *execution*
+faults.  Without a policy the unsupervised fast path runs unchanged.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -28,7 +38,11 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "make_executor",
+    "EXECUTOR_KINDS",
 ]
+
+#: Valid ``kind`` values for :func:`make_executor`.
+EXECUTOR_KINDS = ("serial", "thread", "process")
 
 
 @dataclass
@@ -37,11 +51,16 @@ class Outcome:
 
     Exactly one of ``value`` / ``error`` is meaningful: ``error`` is
     ``None`` for a successful item and the raised exception otherwise.
+    ``retries`` counts *additional* attempts beyond the first (0 for an
+    unsupervised or first-try run) and ``wall_time`` is the in-worker
+    seconds of the attempt that produced this outcome.
     """
 
     index: int
     value: object = None
     error: BaseException | None = None
+    retries: int = 0
+    wall_time: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -54,12 +73,15 @@ def _outcome_call(packed):
     Module-level so :class:`ProcessExecutor` can pickle it; the captured
     exception travels back pickled (``ReproError`` preserves its
     structured context across that boundary via ``__reduce__``).
+    Returns ``(ok, value_or_error, wall_seconds)``.
     """
     fn, item = packed
+    t0 = time.perf_counter()
     try:
-        return True, fn(item)
+        value = fn(item)
+        return True, value, time.perf_counter() - t0
     except Exception as exc:
-        return False, exc
+        return False, exc, time.perf_counter() - t0
 
 
 class Executor(ABC):
@@ -69,18 +91,29 @@ class Executor(ABC):
     def map(self, fn, items: list) -> list:
         """Apply ``fn`` to every item, returning results in input order."""
 
-    def map_outcomes(self, fn, items: list) -> list[Outcome]:
+    def map_outcomes(self, fn, items: list, policy=None) -> list[Outcome]:
         """Apply ``fn`` to every item, capturing per-item exceptions.
 
         Unlike :meth:`map`, one failing item does not abort the pool or
         discard the other items' finished work: every item produces an
         :class:`Outcome`, in input order.  This is the engine hook for
         graceful degradation (``pugz_decompress(..., on_error="recover")``).
+
+        ``policy`` (a :class:`~repro.parallel.supervision.SupervisionPolicy`)
+        additionally enforces per-task deadlines and retries execution
+        faults with seeded exponential backoff — see
+        :mod:`repro.parallel.supervision`.
         """
+        if policy is not None and policy.active:
+            from repro.parallel.supervision import supervised_map_outcomes
+
+            return supervised_map_outcomes(self, fn, items, policy)
         packed = self.map(_outcome_call, [(fn, item) for item in items])
         return [
-            Outcome(index=i, value=v) if ok else Outcome(index=i, error=v)
-            for i, (ok, v) in enumerate(packed)
+            Outcome(index=i, value=v, wall_time=dt)
+            if ok
+            else Outcome(index=i, error=v, wall_time=dt)
+            for i, (ok, v, dt) in enumerate(packed)
         ]
 
     @property
@@ -90,7 +123,13 @@ class Executor(ABC):
 
 
 class SerialExecutor(Executor):
-    """Run everything inline, in order."""
+    """Run everything inline, in order.
+
+    Having no worker to preempt, it cannot interrupt a task that
+    overruns a supervision deadline; deadlines are checked *between*
+    tasks only (retries and backoff still apply — see
+    :mod:`repro.parallel.supervision`).
+    """
 
     def map(self, fn, items: list) -> list:
         return [fn(item) for item in items]
@@ -135,11 +174,23 @@ class ProcessExecutor(Executor):
 
 
 def make_executor(kind: str = "serial", n_workers: int | None = None) -> Executor:
-    """Build an executor from a name: ``serial``, ``thread`` or ``process``."""
+    """Build an executor from a name: ``serial``, ``thread`` or ``process``.
+
+    ``n_workers`` must be ``None`` (use the CPU count) or >= 1;
+    :class:`SerialExecutor` accepts but ignores it (it always runs one
+    task at a time).  Unknown kinds and non-positive worker counts
+    raise ``ValueError`` with the offending value spelled out.
+    """
+    if n_workers is not None and n_workers < 1:
+        raise ValueError(
+            f"n_workers must be >= 1 (or None for the CPU count), got {n_workers}"
+        )
     if kind == "serial":
         return SerialExecutor()
     if kind == "thread":
         return ThreadExecutor(n_workers)
     if kind == "process":
         return ProcessExecutor(n_workers)
-    raise ValueError(f"unknown executor kind {kind!r}")
+    raise ValueError(
+        f"unknown executor kind {kind!r}; valid kinds: {', '.join(EXECUTOR_KINDS)}"
+    )

@@ -1,0 +1,300 @@
+"""Supervised execution: deadlines, hung-worker recovery, bounded retry.
+
+The two-pass decompressor's first pass farms chunks out to a pool; in
+production that pool is a liability surface of its own, independent of
+the input bytes:
+
+* a worker can *hang* (pathological input, runaway loop, stuck I/O) —
+  without a deadline, ``pugz_decompress`` blocks forever;
+* a worker can *die* (OOM kill, segfaulting C extension, ``os._exit``)
+  — a bare ``pool.map`` raises ``BrokenProcessPool`` and all finished
+  work is lost;
+* both faults are frequently transient, so a bounded retry turns them
+  into a latency blip instead of a failed request.
+
+This module supplies the policy and the supervised map loop behind
+:meth:`repro.parallel.executor.Executor.map_outcomes`.  Semantics:
+
+* **Deadlines** bound the wait for each task's result.  On expiry the
+  pool is torn down (process workers are terminated — the only way to
+  stop a hung CPU-bound task; runaway threads are abandoned, since
+  threads cannot be killed), surviving results are harvested, and a
+  fresh pool takes over.  :class:`SerialExecutor` runs tasks inline
+  and therefore cannot preempt one; for it, deadlines only bound
+  retries, never a running task.
+* **Retries** apply to *execution* faults only: deadline expiries,
+  broken pools, and non-:class:`~repro.errors.ReproError` exceptions.
+  Data errors (``DeflateError`` and friends) are deterministic — the
+  same bytes fail the same way — so retrying them is pure waste; they
+  pass through for the degradation ladder in :mod:`repro.core.pugz`.
+* **Backoff** between retries is exponential with *seeded* jitter
+  (``SupervisionPolicy.seed``), so campaign runs replay exactly.
+
+Every loop here is attempt-bounded (see lint rule REP013): the map loop
+spends from a budget of ``n_tasks * (max_retries + 1)`` submissions, so
+no fault pattern can make it spin forever.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import BrokenExecutor, CancelledError, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass
+
+from repro.errors import DeadlineExceededError, ReproError, WorkerCrashError
+from repro.parallel.executor import (
+    Executor,
+    Outcome,
+    ProcessExecutor,
+    ThreadExecutor,
+    _outcome_call,
+)
+
+__all__ = [
+    "SupervisionPolicy",
+    "supervised_map_outcomes",
+    "is_execution_fault",
+]
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How to supervise one fault-tolerant map.
+
+    Parameters
+    ----------
+    deadline_s:
+        Per-task result deadline in seconds (``None`` disables).
+    max_retries:
+        Additional attempts per task after the first, for execution
+        faults only (0 disables retry).
+    backoff_base_s / backoff_cap_s:
+        First retry waits ~``backoff_base_s``, doubling per further
+        attempt, jittered and capped at ``backoff_cap_s``.
+    seed:
+        Seed for the backoff jitter — supervision is deterministic
+        given (seed, task index, attempt number).
+    """
+
+    deadline_s: float | None = None
+    max_retries: int = 0
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {self.deadline_s}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff values must be >= 0")
+
+    @property
+    def active(self) -> bool:
+        """False when the policy is a no-op (no deadline, no retries)."""
+        return self.deadline_s is not None or self.max_retries > 0
+
+    def backoff_s(self, task_index: int, attempt: int) -> float:
+        """Seeded jittered exponential backoff before retry ``attempt``.
+
+        ``attempt`` is 1 for the first retry.  Deterministic in
+        (seed, task_index, attempt).
+        """
+        if attempt <= 0 or self.backoff_base_s == 0:
+            return 0.0
+        rng = random.Random(
+            self.seed * 1_000_003 + task_index * 8191 + attempt
+        )
+        raw = self.backoff_base_s * (2 ** (attempt - 1))
+        jittered = raw * (0.5 + rng.random())
+        return min(jittered, self.backoff_cap_s)
+
+
+def is_execution_fault(exc: BaseException) -> bool:
+    """True for faults worth retrying: the *execution* misbehaved.
+
+    Deterministic data errors (:class:`~repro.errors.ReproError`
+    subclasses other than the supervision errors themselves) are not
+    execution faults — the same input will fail the same way.
+    """
+    if isinstance(exc, (DeadlineExceededError, WorkerCrashError)):
+        return True
+    if isinstance(exc, (BrokenExecutor, FuturesTimeoutError, CancelledError)):
+        return True
+    return not isinstance(exc, ReproError)
+
+
+def supervised_map_outcomes(
+    executor: Executor, fn, items: list, policy: SupervisionPolicy
+) -> list[Outcome]:
+    """Apply ``fn`` to every item under ``policy``, one Outcome per item.
+
+    Dispatches on the executor type: thread/process executors get the
+    pool-based loop with real deadlines; everything else (serial,
+    custom executors, single-item maps) runs inline where a deadline
+    cannot preempt but retries still apply.
+    """
+    if not items:
+        return []
+    if isinstance(executor, (ThreadExecutor, ProcessExecutor)) and len(items) > 1:
+        return _pool_map(executor, fn, items, policy)
+    return _inline_map(fn, items, policy)
+
+
+def _inline_map(fn, items: list, policy: SupervisionPolicy) -> list[Outcome]:
+    """Serial supervised map: bounded retries, no preemption."""
+    results: list[Outcome] = []
+    for i, item in enumerate(items):
+        outcome = Outcome(index=i)
+        for attempt in range(policy.max_retries + 1):
+            ok, value, wall = _outcome_call((fn, item))
+            if ok:
+                outcome = Outcome(index=i, value=value, retries=attempt, wall_time=wall)
+                break
+            outcome = Outcome(index=i, error=value, retries=attempt, wall_time=wall)
+            if attempt >= policy.max_retries or not is_execution_fault(value):
+                break
+            time.sleep(policy.backoff_s(i, attempt + 1))
+        results.append(outcome)
+    return results
+
+
+def _new_pool(kind: str, n_workers: int):
+    if kind == "process":
+        return ProcessPoolExecutor(max_workers=n_workers)
+    return ThreadPoolExecutor(max_workers=n_workers)
+
+
+def _kill_pool(pool, kind: str) -> None:
+    """Tear a pool down without waiting on a possibly-hung worker.
+
+    Process workers are terminated outright — a hung CPU-bound task
+    never reaches a cooperative cancellation point.  Threads cannot be
+    killed; the pool is abandoned and its threads drain on their own.
+    """
+    processes = dict(getattr(pool, "_processes", None) or {}) if kind == "process" else {}
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in processes.values():
+        try:
+            proc.terminate()
+        except (OSError, ValueError):
+            # Already dead / already closed: the goal (no live worker
+            # holding the old pool's queues) is met either way.
+            pass
+
+
+def _pool_map(
+    executor: Executor, fn, items: list, policy: SupervisionPolicy
+) -> list[Outcome]:
+    """Pool-based supervised map with deadlines and pool rebuilding.
+
+    The deadline bounds the wait for each task's result, in submission
+    order; a task that finished while an earlier one was being awaited
+    is collected instantly.  Any pool-killing event (deadline expiry,
+    broken pool) harvests completed futures, rebuilds the pool, charges
+    the task that triggered it with one attempt, and resubmits innocent
+    casualties without charging them.  The loop spends submissions from
+    a fixed budget, so it terminates under any fault pattern.
+    """
+    kind = "process" if isinstance(executor, ProcessExecutor) else "thread"
+    n = len(items)
+    results: list[Outcome | None] = [None] * n
+    attempts = [0] * n  # attempts charged against each task
+    todo = list(range(n))
+    submission_budget = n * (policy.max_retries + 1)
+    pool = _new_pool(kind, executor.parallelism)
+    try:
+        while todo and submission_budget > 0:
+            wave = todo[: submission_budget]
+            submission_budget -= len(wave)
+            todo = []
+            futures = [(i, pool.submit(_outcome_call, (fn, items[i]))) for i in wave]
+            pool_dead = False
+            charged: list[int] = []
+            for i, fut in futures:
+                if pool_dead:
+                    # The pool died while an earlier future was awaited:
+                    # harvest anything that still finished, requeue the
+                    # rest without charging them.
+                    if fut.done() and not fut.cancelled():
+                        try:
+                            results[i] = _as_outcome(i, fut.result(timeout=0), attempts[i])
+                            continue
+                        except (BrokenExecutor, CancelledError, OSError):
+                            pass
+                    todo.append(i)
+                    continue
+                try:
+                    results[i] = _as_outcome(
+                        i, fut.result(timeout=policy.deadline_s), attempts[i]
+                    )
+                    continue
+                except FuturesTimeoutError:
+                    error: ReproError = DeadlineExceededError(
+                        f"task {i} exceeded {policy.deadline_s}s deadline "
+                        f"({kind} pool torn down)",
+                        chunk_index=i,
+                        stage="supervision",
+                    )
+                except BrokenExecutor as exc:
+                    error = WorkerCrashError(
+                        f"{kind} pool broke while running task {i}: {exc}",
+                        chunk_index=i,
+                        stage="supervision",
+                    )
+                _kill_pool(pool, kind)
+                pool_dead = True
+                attempts[i] += 1
+                if attempts[i] <= policy.max_retries:
+                    charged.append(i)
+                    todo.append(i)
+                else:
+                    results[i] = Outcome(index=i, error=error, retries=attempts[i] - 1)
+            if pool_dead:
+                pool = _new_pool(kind, executor.parallelism)
+                if charged:
+                    time.sleep(max(policy.backoff_s(i, attempts[i]) for i in charged))
+            else:
+                # Attempts completed without pool loss: charge failed
+                # execution faults and retry them; data errors and
+                # successes are final.
+                retry: list[int] = []
+                for i in wave:
+                    oc = results[i]
+                    if oc is None or oc.ok or not is_execution_fault(oc.error):
+                        continue
+                    attempts[i] += 1
+                    if attempts[i] <= policy.max_retries:
+                        results[i] = None
+                        retry.append(i)
+                if retry:
+                    time.sleep(max(policy.backoff_s(i, attempts[i]) for i in retry))
+                    todo.extend(retry)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    for i in range(n):
+        if results[i] is None:
+            # Submission budget exhausted while this task was still a
+            # casualty of other tasks' faults.
+            results[i] = Outcome(
+                index=i,
+                error=WorkerCrashError(
+                    f"task {i} unfinished after supervision budget "
+                    f"({n} tasks x {policy.max_retries + 1} attempts) was spent",
+                    chunk_index=i,
+                    stage="supervision",
+                ),
+                retries=attempts[i],
+            )
+    return results
+
+
+def _as_outcome(index: int, packed, attempts_charged: int) -> Outcome:
+    """Convert an ``_outcome_call`` triple into an :class:`Outcome`."""
+    ok, value, wall = packed
+    if ok:
+        return Outcome(index=index, value=value, retries=attempts_charged, wall_time=wall)
+    return Outcome(index=index, error=value, retries=attempts_charged, wall_time=wall)

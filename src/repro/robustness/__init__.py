@@ -35,7 +35,13 @@ from repro.robustness.campaign import (
     default_corpora,
     run_campaign,
 )
+from repro.robustness.exec_faults import (
+    EXECUTION_INJECTOR_NAMES,
+    ExecutionFault,
+    SabotageExecutor,
+)
 from repro.robustness.injectors import (
+    ALL_INJECTOR_NAMES,
     FaultCase,
     INJECTOR_NAMES,
     corrupt_bytes,
@@ -46,10 +52,16 @@ from repro.robustness.injectors import (
     tamper_trailer,
     truncate,
 )
+from repro.robustness.limits import ResourceBudget
 
 __all__ = [
     "FaultCase",
     "INJECTOR_NAMES",
+    "ALL_INJECTOR_NAMES",
+    "EXECUTION_INJECTOR_NAMES",
+    "ExecutionFault",
+    "SabotageExecutor",
+    "ResourceBudget",
     "flip_bit",
     "corrupt_bytes",
     "truncate",

@@ -29,7 +29,15 @@ from dataclasses import dataclass, field
 from repro.core.pigz import pigz_compress
 from repro.core.pugz import pugz_decompress
 from repro.errors import ReproError
-from repro.robustness.injectors import INJECTOR_NAMES, FaultCase, inject
+from repro.parallel.executor import ThreadExecutor
+from repro.parallel.supervision import SupervisionPolicy
+from repro.robustness.exec_faults import (
+    EXECUTION_INJECTOR_NAMES,
+    ExecutionFault,
+    SabotageExecutor,
+)
+from repro.robustness.injectors import ALL_INJECTOR_NAMES, FaultCase, inject
+from repro.robustness.limits import ResourceBudget
 
 __all__ = ["CaseResult", "CampaignReport", "default_corpora", "build_cases", "run_campaign"]
 
@@ -63,6 +71,9 @@ def default_corpora(seed: int = 20190521) -> dict[str, tuple[bytes, bytes]]:
     text = (b"The quick brown fox jumps over the lazy dog. " * 200)[:8192]
     tiny = b"ACGTACGTAC\n"
     member = _fastq(rng, 30)
+    # ~850x expansion: exercises the ResourceBudget hot-path guards on
+    # every case while staying small enough to decode when permitted.
+    bomb = b"\x00" * (512 << 10)
     return {
         "dna-1block": (dna, gzip.compress(dna, 6, mtime=0)),
         "fastq-multiblock": (fastq, pigz_compress(fastq, level=6, chunk_size=4096)),
@@ -72,6 +83,7 @@ def default_corpora(seed: int = 20190521) -> dict[str, tuple[bytes, bytes]]:
             member + member,
             gzip.compress(member, 6, mtime=0) + gzip.compress(member, 6, mtime=0),
         ),
+        "zip-bomb": (bomb, gzip.compress(bomb, 6, mtime=0)),
     }
 
 
@@ -97,6 +109,9 @@ class CaseResult:
     #: For cases whose stream decoded: did ``verify=True`` raise?
     #: ``None`` when verification was not reached (stream didn't decode).
     verify_caught: bool | None = None
+    #: Supervised retries spent recovering execution faults (max over
+    #: chunks; 0 for data-fault cases).
+    retries: int = 0
     elapsed: float = 0.0
 
     @property
@@ -118,6 +133,7 @@ class CaseResult:
             "unresolved_markers": self.unresolved_markers,
             "verify_failures": self.verify_failures,
             "verify_caught": self.verify_caught,
+            "retries": self.retries,
             "elapsed": round(self.elapsed, 4),
         }
 
@@ -168,7 +184,7 @@ def _common_prefix_len(a: bytes, b: bytes) -> int:
 
 def build_cases(
     corpus_names,
-    injectors=INJECTOR_NAMES,
+    injectors=ALL_INJECTOR_NAMES,
     n_seeds: int = 9,
     base_seed: int = 1000,
 ) -> list[FaultCase]:
@@ -188,15 +204,30 @@ def run_case(
     *,
     n_chunks: int = 2,
     max_resync_search_bits: int | None = 20000,
+    budget: ResourceBudget | None = None,
 ) -> CaseResult:
-    """Inject one fault and classify the engine's behaviour on it."""
+    """Inject one fault and classify the engine's behaviour on it.
+
+    Byte-stream injectors damage the data; execution injectors
+    (:data:`~repro.robustness.exec_faults.EXECUTION_INJECTOR_NAMES`)
+    leave the bytes alone and sabotage the executor instead, proving
+    that supervision (deadline + bounded retries) turns a hung or dead
+    worker into a recovered run rather than a hang.
+    """
     t0 = time.perf_counter()
     faulted = inject(case, gz)
     result = CaseResult(case.corpus, case.injector, case.seed, outcome="crash")
     try:
         with warnings.catch_warnings():
             warnings.simplefilter("ignore")
-            result.outcome = _classify(result, faulted, plain, n_chunks, max_resync_search_bits)
+            if case.injector in EXECUTION_INJECTOR_NAMES:
+                result.outcome = _classify_execution(
+                    result, case, plain, gz, n_chunks, budget
+                )
+            else:
+                result.outcome = _classify(
+                    result, faulted, plain, n_chunks, max_resync_search_bits, budget
+                )
     except ReproError as exc:  # pragma: no cover - classified inside
         result.outcome = "clean-error"
         result.error_type = type(exc).__name__
@@ -209,18 +240,20 @@ def run_case(
     return result
 
 
-def _classify(result, faulted, plain, n_chunks, max_resync_search_bits) -> str:
+def _classify(result, faulted, plain, n_chunks, max_resync_search_bits, budget) -> str:
     try:
-        out = pugz_decompress(faulted, n_chunks=n_chunks)
+        out = pugz_decompress(faulted, n_chunks=n_chunks, budget=budget)
     except ReproError as exc:
         result.error_type = type(exc).__name__
         result.error_context = exc.context()
-        return _try_recover(result, faulted, plain, n_chunks, max_resync_search_bits)
+        return _try_recover(
+            result, faulted, plain, n_chunks, max_resync_search_bits, budget
+        )
     # The stream decoded: measure whether verification would object.
     result.recovered_bytes = len(out)
     result.exact_prefix = _common_prefix_len(out, plain)
     try:
-        pugz_decompress(faulted, n_chunks=n_chunks, verify=True)
+        pugz_decompress(faulted, n_chunks=n_chunks, verify=True, budget=budget)
         result.verify_caught = False
     except ReproError:
         result.verify_caught = True
@@ -229,7 +262,36 @@ def _classify(result, faulted, plain, n_chunks, max_resync_search_bits) -> str:
     return "silent-corruption"
 
 
-def _try_recover(result, faulted, plain, n_chunks, max_resync_search_bits) -> str:
+def _classify_execution(result, case, plain, gz, n_chunks, budget) -> str:
+    """Run the *pristine* stream under a sabotaged executor.
+
+    The fault fires exactly once (a worker hangs or dies mid-pass-1);
+    supervision must end it at the deadline and the bounded retry must
+    produce a byte-identical result.  Anything else is a finding.
+    """
+    fault = ExecutionFault.from_injector(case.injector, case.seed)
+    executor = SabotageExecutor(ThreadExecutor(n_workers=n_chunks), fault)
+    policy = SupervisionPolicy(
+        deadline_s=0.15, max_retries=2, backoff_base_s=0.01, seed=case.seed
+    )
+    out, rep = pugz_decompress(
+        gz,
+        executor=executor,
+        n_chunks=n_chunks,
+        return_report=True,
+        supervision=policy,
+        budget=budget,
+    )
+    result.recovered_bytes = len(out)
+    result.exact_prefix = _common_prefix_len(out, plain)
+    if rep.chunk_details:
+        result.retries = max(d.retries for d in rep.chunk_details)
+    if out == plain:
+        return "intact"
+    return "silent-corruption"
+
+
+def _try_recover(result, faulted, plain, n_chunks, max_resync_search_bits, budget) -> str:
     try:
         out, rep = pugz_decompress(
             faulted,
@@ -239,6 +301,7 @@ def _try_recover(result, faulted, plain, n_chunks, max_resync_search_bits) -> st
             return_report=True,
             allow_trailing_garbage=True,
             max_resync_search_bits=max_resync_search_bits,
+            budget=budget,
         )
     except ReproError:
         return "clean-error"
@@ -250,22 +313,32 @@ def _try_recover(result, faulted, plain, n_chunks, max_resync_search_bits) -> st
     return "salvaged"
 
 
+#: Campaign-wide resource budget: comfortably above every corpus's
+#: honest output (largest is the 512 KiB zip-bomb plaintext) so clean
+#: classifications are unchanged, but any fault-induced runaway decode
+#: is stopped at 8 MiB instead of exhausting memory.
+DEFAULT_CAMPAIGN_BUDGET = ResourceBudget(max_output_bytes=8 << 20)
+
+
 def run_campaign(
     corpora: dict[str, tuple[bytes, bytes]] | None = None,
-    injectors=INJECTOR_NAMES,
+    injectors=ALL_INJECTOR_NAMES,
     n_seeds: int = 9,
     base_seed: int = 1000,
     *,
     n_chunks: int = 2,
     max_resync_search_bits: int | None = 20000,
+    budget: ResourceBudget | None = DEFAULT_CAMPAIGN_BUDGET,
     progress=None,
 ) -> CampaignReport:
     """Run the full fault grid and classify every case.
 
     ``progress`` (optional) is called with each finished
     :class:`CaseResult` — the CLI uses it for live output.  With the
-    defaults the campaign is 5 corpora × 6 injectors × 9 seeds = 270
-    cases, deterministic end to end.
+    defaults the campaign is 6 corpora × 8 injectors × 9 seeds = 432
+    cases, deterministic end to end.  Every decode runs under
+    ``budget`` so even a fault that fabricates an enormous match chain
+    terminates with a structured :class:`~repro.errors.ResourceLimitError`.
     """
     if corpora is None:
         corpora = default_corpora()
@@ -279,6 +352,7 @@ def run_campaign(
             gz,
             n_chunks=n_chunks,
             max_resync_search_bits=max_resync_search_bits,
+            budget=budget,
         )
         report.cases.append(result)
         if progress is not None:

@@ -1,0 +1,166 @@
+"""Execution-fault injection: sabotaged workers for supervision testing.
+
+The byte-stream injectors (:mod:`repro.robustness.injectors`) model
+*corrupt data*; this module models *misbehaving execution* — the other
+half of the production failure space:
+
+* ``slow_worker`` — one seeded task invocation sleeps long enough to
+  blow any reasonable per-task deadline (a hung worker, in miniature);
+* ``crashing_worker`` — one seeded task invocation raises a
+  non-:class:`~repro.errors.ReproError` exception (a worker dying
+  mid-chunk).
+
+Both faults are **transient by construction**: they fire exactly once
+per :class:`SabotageExecutor`, so a supervised retry of the victim task
+succeeds.  That is precisely the property the fuzz campaign proves —
+deadlines and retries turn a would-be hang into a bounded, fully
+recovered run, deterministically (the victim invocation is chosen by
+seed).
+
+Sabotage state (the fire-once latch) lives in process memory, so the
+executor wraps thread or serial backends only — which is also what the
+campaign wants: a sabotaged *process* pool would test process spawn
+overhead, not supervision logic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.parallel.executor import Executor, Outcome, ProcessExecutor
+
+__all__ = [
+    "EXECUTION_INJECTOR_NAMES",
+    "ExecutionFault",
+    "SabotageExecutor",
+    "WorkerSabotage",
+]
+
+#: Execution-fault injector names, registered alongside the byte-stream
+#: injectors in :data:`repro.robustness.injectors.ALL_INJECTOR_NAMES`.
+EXECUTION_INJECTOR_NAMES = ("slow_worker", "crashing_worker")
+
+
+class WorkerSabotage(RuntimeError):
+    """The injected worker crash — deliberately *not* a ReproError.
+
+    Supervision classifies it as an execution fault and retries; an
+    unsupervised run lets it escape, which is exactly the hang/crash
+    behaviour the campaign exists to rule out.
+    """
+
+
+@dataclass(frozen=True)
+class ExecutionFault:
+    """One seeded execution fault.
+
+    ``kind`` is ``slow`` (sleep ``sleep_s`` inside the victim task) or
+    ``crash`` (raise :class:`WorkerSabotage`).  The victim is the
+    ``seed % n``-th task invocation of the map, so the choice is
+    deterministic without needing an RNG at injection time.
+    """
+
+    kind: str
+    seed: int
+    sleep_s: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("slow", "crash"):
+            raise ValueError(f"fault kind must be 'slow' or 'crash', got {self.kind!r}")
+        if self.sleep_s <= 0:
+            raise ValueError(f"sleep_s must be positive, got {self.sleep_s}")
+
+    @classmethod
+    def from_injector(cls, injector: str, seed: int, sleep_s: float = 0.75) -> "ExecutionFault":
+        if injector == "slow_worker":
+            return cls("slow", seed, sleep_s)
+        if injector == "crashing_worker":
+            return cls("crash", seed, sleep_s)
+        raise ValueError(f"unknown execution injector {injector!r}")
+
+
+class _OnceLatch:
+    """Thread-safe fire-once latch shared across a map sequence."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._fired = False
+
+    def try_fire(self) -> bool:
+        with self._lock:
+            if self._fired:
+                return False
+            self._fired = True
+            return True
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+
+class _Saboteur:
+    """Wrap a work function; sabotage one seeded invocation, once.
+
+    The invocation counter is per map call; the fire-once latch is
+    shared (executor-scoped), so a retried victim — and every later
+    map of the same pipeline, e.g. pugz's second pass — runs clean.
+    """
+
+    def __init__(self, fn, fault: ExecutionFault, n_items: int, latch: _OnceLatch) -> None:
+        self.fn = fn
+        self.fault = fault
+        self.target = fault.seed % max(1, n_items)
+        self.latch = latch
+        self._calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, item):
+        with self._lock:
+            k = self._calls
+            self._calls += 1
+        fire = k == self.target and self.latch.try_fire()
+        if fire:
+            if self.fault.kind == "crash":
+                raise WorkerSabotage(
+                    f"injected worker crash (seed {self.fault.seed})"
+                )
+            time.sleep(self.fault.sleep_s)
+        return self.fn(item)
+
+
+class SabotageExecutor(Executor):
+    """Executor decorator injecting one execution fault, exactly once.
+
+    Wraps every work function with a :class:`_Saboteur` and delegates
+    to the inner executor, so supervision (``policy=``) applies exactly
+    as it would in production.  The fire-once latch is shared across
+    all ``map``/``map_outcomes`` calls on this executor: the seeded
+    victim invocation of the *first* map is sabotaged, everything
+    after (retries, later pipeline passes) runs clean.
+    """
+
+    def __init__(self, inner: Executor, fault: ExecutionFault) -> None:
+        if isinstance(inner, ProcessExecutor):
+            raise ValueError(
+                "SabotageExecutor requires an in-process backend (serial/thread): "
+                "the fire-once latch does not cross process boundaries"
+            )
+        self.inner = inner
+        self.fault = fault
+        self.latch = _OnceLatch()
+
+    def map(self, fn, items: list) -> list:
+        return self.inner.map(
+            _Saboteur(fn, self.fault, len(items), self.latch), items
+        )
+
+    def map_outcomes(self, fn, items: list, policy=None) -> list[Outcome]:
+        return self.inner.map_outcomes(
+            _Saboteur(fn, self.fault, len(items), self.latch), items, policy
+        )
+
+    @property
+    def parallelism(self) -> int:
+        return self.inner.parallelism

@@ -28,6 +28,7 @@ from types import MappingProxyType
 __all__ = [
     "FaultCase",
     "INJECTOR_NAMES",
+    "ALL_INJECTOR_NAMES",
     "flip_bit",
     "corrupt_bytes",
     "truncate",
@@ -116,6 +117,15 @@ INJECTORS = MappingProxyType({
 
 INJECTOR_NAMES = tuple(INJECTORS)
 
+# Execution faults (slow/crashing workers) leave the bytes alone and
+# sabotage the *executor* instead; they are registered here so one
+# FaultCase grid spans both damage classes.  The campaign routes them
+# to repro.robustness.exec_faults (a late import keeps this module free
+# of executor dependencies on the worker side of the pickle boundary).
+from repro.robustness.exec_faults import EXECUTION_INJECTOR_NAMES  # noqa: E402
+
+ALL_INJECTOR_NAMES = INJECTOR_NAMES + EXECUTION_INJECTOR_NAMES
+
 
 @dataclass(frozen=True)
 class FaultCase:
@@ -131,7 +141,14 @@ class FaultCase:
 
 
 def inject(case: FaultCase, data: bytes) -> bytes:
-    """Apply the case's injector to ``data``, deterministically."""
+    """Apply the case's injector to ``data``, deterministically.
+
+    Execution-fault injectors are byte-identity: they damage the
+    *executor*, not the stream (see
+    :class:`repro.robustness.exec_faults.SabotageExecutor`).
+    """
+    if case.injector in EXECUTION_INJECTOR_NAMES:
+        return data
     fn = INJECTORS.get(case.injector)
     if fn is None:
         raise ValueError(f"unknown injector {case.injector!r}")

@@ -1,0 +1,179 @@
+"""Resource budgets for hostile-input protection (zip bombs).
+
+A crafted DEFLATE stream can expand by five orders of magnitude — a
+40 KB file becomes 40 GB of output — so a service decompressing
+untrusted data must bound *resident* memory, not trust the input's own
+ISIZE field (which an attacker also controls).  :class:`ResourceBudget`
+is that bound, threaded through the decode hot paths:
+
+* ``max_output_bytes`` — hard cap on decompressed bytes produced by one
+  decode call (one chunk of the parallel decompressor, or one
+  sequential inflate);
+* ``max_expansion_ratio`` — cap on ``output_bytes / compressed_bytes``
+  consumed so far, the classic zip-bomb signature (enforced only once
+  ``expansion_grace_bytes`` of output exist, so tiny-but-legitimate
+  headers never trip it);
+* ``max_marker_buffer_bytes`` — cap on the marker-domain symbol buffer
+  (4 bytes per symbol), which is the dominant allocation of the
+  parallel first pass.
+
+Enforcement is amortized to stay off the per-symbol fast path: the
+block-boundary check covers literal growth, and the match-copy path
+pre-checks ``len + match_length`` against the cap *before* copying —
+so on high-expansion streams (which are match-dominated by
+construction) the error fires before resident output exceeds the
+budget.  Worst-case overshoot is one block of pure literals, which is
+bounded by 8x the compressed input.
+
+The budget is a plain picklable dataclass so it crosses the
+``ProcessExecutor`` boundary with each chunk job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ResourceLimitError
+
+__all__ = ["ResourceBudget", "UNLIMITED_CAP"]
+
+#: Sentinel cap meaning "no limit" for the hot loops' single-compare
+#: guard (an int comparison against this is always False in practice).
+UNLIMITED_CAP = 1 << 62
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """Resource limits for one decode call.  ``None`` disables a limit."""
+
+    max_output_bytes: int | None = None
+    max_expansion_ratio: float | None = None
+    max_marker_buffer_bytes: int | None = None
+    #: Expansion is only enforced once this many output bytes exist —
+    #: below it, ratios are noise (a 10-byte header inflating to 4 KB).
+    expansion_grace_bytes: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.max_output_bytes is not None and self.max_output_bytes <= 0:
+            raise ValueError(
+                f"max_output_bytes must be positive, got {self.max_output_bytes}"
+            )
+        if self.max_expansion_ratio is not None and self.max_expansion_ratio <= 0:
+            raise ValueError(
+                f"max_expansion_ratio must be positive, got {self.max_expansion_ratio}"
+            )
+        if (
+            self.max_marker_buffer_bytes is not None
+            and self.max_marker_buffer_bytes <= 0
+        ):
+            raise ValueError(
+                "max_marker_buffer_bytes must be positive, "
+                f"got {self.max_marker_buffer_bytes}"
+            )
+        if self.expansion_grace_bytes < 0:
+            raise ValueError(
+                f"expansion_grace_bytes must be >= 0, got {self.expansion_grace_bytes}"
+            )
+
+    @property
+    def unlimited(self) -> bool:
+        """True when every limit is disabled (budget is a no-op)."""
+        return (
+            self.max_output_bytes is None
+            and self.max_expansion_ratio is None
+            and self.max_marker_buffer_bytes is None
+        )
+
+    def output_cap(self) -> int:
+        """Hard cap on produced output bytes (``UNLIMITED_CAP`` if none)."""
+        return (
+            self.max_output_bytes
+            if self.max_output_bytes is not None
+            else UNLIMITED_CAP
+        )
+
+    def marker_symbol_cap(self) -> int:
+        """Hard cap on marker-domain *symbols* (int32: 4 bytes each).
+
+        The tighter of the marker-buffer limit and the plain output
+        limit (each symbol renders to at most one output byte).
+        """
+        cap = UNLIMITED_CAP
+        if self.max_marker_buffer_bytes is not None:
+            cap = self.max_marker_buffer_bytes // 4
+        if self.max_output_bytes is not None and self.max_output_bytes < cap:
+            cap = self.max_output_bytes
+        return cap
+
+    def check_block(
+        self,
+        produced_bytes: int,
+        consumed_bits: int,
+        *,
+        stage: str,
+        bit_offset: int,
+        chunk_index: int | None = None,
+        marker_buffer_bytes: int | None = None,
+    ) -> None:
+        """Block-boundary check: raise if any configured limit is exceeded.
+
+        ``produced_bytes`` is the output produced so far by this decode
+        call, ``consumed_bits`` the compressed bits it has consumed
+        (for the expansion ratio).
+        """
+        if self.max_output_bytes is not None and produced_bytes > self.max_output_bytes:
+            raise ResourceLimitError(
+                f"output {produced_bytes} bytes exceeds budget "
+                f"{self.max_output_bytes}",
+                limit="output_bytes",
+                bit_offset=bit_offset,
+                chunk_index=chunk_index,
+                stage=stage,
+            )
+        if (
+            self.max_expansion_ratio is not None
+            and produced_bytes > self.expansion_grace_bytes
+        ):
+            consumed_bytes = max(1, consumed_bits >> 3)
+            ratio = produced_bytes / consumed_bytes
+            if ratio > self.max_expansion_ratio:
+                raise ResourceLimitError(
+                    f"expansion ratio {ratio:.0f}x ({produced_bytes} bytes from "
+                    f"{consumed_bytes} compressed) exceeds budget "
+                    f"{self.max_expansion_ratio:.0f}x",
+                    limit="expansion_ratio",
+                    bit_offset=bit_offset,
+                    chunk_index=chunk_index,
+                    stage=stage,
+                )
+        if (
+            marker_buffer_bytes is not None
+            and self.max_marker_buffer_bytes is not None
+            and marker_buffer_bytes > self.max_marker_buffer_bytes
+        ):
+            raise ResourceLimitError(
+                f"marker buffer {marker_buffer_bytes} bytes exceeds budget "
+                f"{self.max_marker_buffer_bytes}",
+                limit="marker_buffer_bytes",
+                bit_offset=bit_offset,
+                chunk_index=chunk_index,
+                stage=stage,
+            )
+
+    def raise_output_cap(
+        self,
+        attempted_bytes: int,
+        *,
+        stage: str,
+        bit_offset: int,
+        chunk_index: int | None = None,
+    ) -> None:
+        """Raise the in-loop cap error (match copy would exceed the cap)."""
+        raise ResourceLimitError(
+            f"match copy would grow output to {attempted_bytes} bytes, "
+            f"past budget {self.output_cap()}",
+            limit="output_bytes",
+            bit_offset=bit_offset,
+            chunk_index=chunk_index,
+            stage=stage,
+        )

@@ -441,6 +441,103 @@ class TestREP008ExportSync:
 
 
 # ---------------------------------------------------------------------------
+# REP013 — retry loops in the supervision layer must be bounded
+# ---------------------------------------------------------------------------
+
+
+class TestREP013BoundedRetry:
+    BAD = (
+        "def f(pool, fn, item):\n"
+        "    while True:\n"
+        "        try:\n"
+        "            return pool.submit(fn, item).result()\n"
+        "        except OSError:\n"
+        "            pool = rebuild()\n"
+    )
+
+    def test_fires_on_unbounded_while_retry(self):
+        (f,) = findings_for(self.BAD, "REP013", module_name="repro.parallel.foo")
+        assert f.rule_id == "REP013"
+        assert "attempt bound" in f.message
+        assert f.line == 2
+
+    def test_fires_in_robustness_package_too(self):
+        (f,) = findings_for(self.BAD, "REP013", module_name="repro.robustness.foo")
+        assert f.rule_id == "REP013"
+
+    def test_quiet_when_budget_bounds_the_loop(self):
+        good = (
+            "def f(pool, fn, todo, submission_budget):\n"
+            "    while todo and submission_budget > 0:\n"
+            "        submission_budget -= 1\n"
+            "        try:\n"
+            "            return pool.submit(fn, todo[0]).result()\n"
+            "        except OSError:\n"
+            "            pool = rebuild()\n"
+        )
+        assert findings_for(good, "REP013", module_name="repro.parallel.foo") == []
+
+    def test_quiet_when_attempt_compared_in_body(self):
+        good = (
+            "def f(call, max_retries):\n"
+            "    attempt = 0\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return call()\n"
+            "        except OSError:\n"
+            "            attempt += 1\n"
+            "            if attempt > max_retries:\n"
+            "                break\n"
+        )
+        assert findings_for(good, "REP013", module_name="repro.parallel.foo") == []
+
+    def test_for_loops_are_inherently_bounded(self):
+        good = (
+            "def f(call, n):\n"
+            "    for _ in range(n):\n"
+            "        try:\n"
+            "            return call()\n"
+            "        except OSError:\n"
+            "            pass\n"
+        )
+        assert findings_for(good, "REP013", module_name="repro.parallel.foo") == []
+
+    def test_reraising_handler_is_not_a_retry(self):
+        good = (
+            "def f(call):\n"
+            "    while True:\n"
+            "        try:\n"
+            "            return call()\n"
+            "        except OSError as exc:\n"
+            "            raise RuntimeError('fatal') from exc\n"
+        )
+        assert findings_for(good, "REP013", module_name="repro.parallel.foo") == []
+
+    def test_handler_in_nested_function_does_not_count(self):
+        good = (
+            "def f(call, flag):\n"
+            "    while flag:\n"
+            "        def helper():\n"
+            "            try:\n"
+            "                return call()\n"
+            "            except OSError:\n"
+            "                return None\n"
+            "        flag = helper()\n"
+        )
+        assert findings_for(good, "REP013", module_name="repro.parallel.foo") == []
+
+    def test_out_of_scope_packages_ignored(self):
+        assert findings_for(self.BAD, "REP013", module_name="repro.deflate.foo") == []
+
+    def test_pragma_suppresses_with_reason(self):
+        waived = self.BAD.replace(
+            "while True:",
+            "while True:  # lint: allow-unbounded-retry(bounded by caller)",
+        )
+        assert findings_for(waived, "REP013", module_name="repro.parallel.foo") == []
+
+
+# ---------------------------------------------------------------------------
 # Cross-cutting: every rule has id/slug/summary and registers exactly once
 # ---------------------------------------------------------------------------
 
@@ -449,8 +546,8 @@ def test_registry_is_complete():
     from repro.lint import all_rules
 
     ids = [cls.rule_id for cls in all_rules()]
-    assert ids == [f"REP{i:03d}" for i in range(1, 13)]
-    assert len({cls.slug for cls in all_rules()}) == 12
+    assert ids == [f"REP{i:03d}" for i in range(1, 14)]
+    assert len({cls.slug for cls in all_rules()}) == 13
     assert all(cls.summary for cls in all_rules())
 
 

@@ -1,6 +1,6 @@
 """Fault-injection campaigns: the engine never crashes, only errors.
 
-The quick class runs in tier 1; the full 270-case grid is marked
+The quick class runs in tier 1; the full 432-case grid is marked
 ``robustness`` and runs via ``make fuzz``.
 """
 
@@ -10,6 +10,7 @@ import pytest
 
 from repro.robustness import default_corpora, run_campaign
 from repro.robustness.campaign import OUTCOMES, build_cases
+from repro.robustness.injectors import ALL_INJECTOR_NAMES
 
 
 class TestQuickCampaign:
@@ -43,7 +44,7 @@ def test_build_cases_grid_is_deterministic():
     a = build_cases(["x", "y"], n_seeds=3)
     b = build_cases(["x", "y"], n_seeds=3)
     assert a == b
-    assert len(a) == 2 * 6 * 3
+    assert len(a) == 2 * len(ALL_INJECTOR_NAMES) * 3
 
 
 def test_default_corpora_decompress_cleanly():
@@ -59,7 +60,7 @@ class TestFullCampaign:
 
     @pytest.fixture(scope="class")
     def report(self):
-        return run_campaign()  # 5 corpora x 6 injectors x 9 seeds = 270
+        return run_campaign()  # 6 corpora x 8 injectors x 9 seeds = 432
 
     def test_at_least_200_cases(self, report):
         assert len(report.cases) >= 200

@@ -1,0 +1,185 @@
+"""Crash-safe index sidecars: sealed envelopes, detection, self-healing.
+
+Covers the shared envelope (`repro.index.integrity`), the zran
+checkpoint index and the BGZF block table: every damage class a torn
+write or bit rot can produce must surface as `IndexIntegrityError` at
+load — never a struct/zlib crash — and the auto-rebuild paths must
+atomically replace the damaged sidecar with a byte-identical rebuild.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+import random
+
+import pytest
+
+from repro.bgzf import (
+    BgzfReader,
+    bgzf_compress,
+    load_block_index,
+    load_or_scan_blocks,
+    save_block_index,
+    scan_blocks,
+)
+from repro.errors import IndexIntegrityError
+from repro.index import GzipIndex, build_index, load_or_rebuild
+from repro.index.integrity import atomic_write_bytes, seal, unseal
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = random.Random(20190521)
+    plain = bytes(rng.choice(b"ACGT") for _ in range(300_000))
+    return plain, gzip.compress(plain, 6, mtime=0)
+
+
+class TestEnvelope:
+    def test_round_trip(self):
+        payload = b"checkpoint data" * 100
+        assert unseal(seal(b"ZRAN", payload), b"ZRAN") == payload
+
+    def test_kind_must_be_four_bytes(self):
+        with pytest.raises(ValueError):
+            seal(b"TOOLONG", b"x")
+
+    def test_kind_mismatch_detected(self):
+        blob = seal(b"ZRAN", b"payload")
+        with pytest.raises(IndexIntegrityError, match="kind"):
+            unseal(blob, b"BGZF")
+
+    def test_bit_flip_detected(self):
+        blob = bytearray(seal(b"ZRAN", b"payload bytes here"))
+        blob[-3] ^= 0x40  # inside the payload
+        with pytest.raises(IndexIntegrityError, match="checksum"):
+            unseal(bytes(blob), b"ZRAN")
+
+    def test_truncation_detected(self):
+        blob = seal(b"ZRAN", b"payload bytes here")
+        with pytest.raises(IndexIntegrityError, match="length"):
+            unseal(blob[:-4], b"ZRAN")
+        with pytest.raises(IndexIntegrityError):
+            unseal(blob[:10], b"ZRAN")  # shorter than the header
+
+    def test_not_an_envelope_detected(self):
+        with pytest.raises(IndexIntegrityError, match="magic"):
+            unseal(b"\x1f\x8b" + b"\x00" * 40, b"ZRAN")
+
+    def test_newer_version_refused(self):
+        blob = seal(b"ZRAN", b"payload", version=99)
+        with pytest.raises(IndexIntegrityError, match="version"):
+            unseal(blob, b"ZRAN")
+
+    def test_every_single_byte_flip_is_caught(self):
+        payload = b"short payload"
+        blob = seal(b"ZRAN", payload)
+        for i in range(len(blob)):
+            damaged = bytearray(blob)
+            damaged[i] ^= 0x01
+            try:
+                out = unseal(bytes(damaged), b"ZRAN")
+            except IndexIntegrityError:
+                continue
+            pytest.fail(f"flip at byte {i} went undetected (got {out!r})")
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        path = tmp_path / "sidecar.idx"
+        atomic_write_bytes(str(path), b"first")
+        atomic_write_bytes(str(path), b"second")
+        assert path.read_bytes() == b"second"
+
+    def test_no_temp_litter(self, tmp_path):
+        atomic_write_bytes(str(tmp_path / "a.idx"), b"data")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["a.idx"]
+
+
+class TestZranSidecar:
+    def test_save_load_round_trip(self, tmp_path, corpus):
+        plain, gz = corpus
+        idx = build_index(gz, span=65536)
+        path = str(tmp_path / "reads.idx")
+        idx.save(path)
+        loaded = GzipIndex.load(path)
+        assert loaded.to_bytes() == idx.to_bytes()
+        assert loaded.read_at(gz, 100_000, 64) == plain[100_000:100_064]
+
+    def test_bit_flip_detected_then_rebuilt_identically(self, tmp_path, corpus):
+        _, gz = corpus
+        path = str(tmp_path / "reads.idx")
+        build_index(gz, span=65536).save(path)
+        pristine = open(path, "rb").read()
+        damaged = bytearray(pristine)
+        damaged[len(damaged) // 2] ^= 0x10
+        with open(path, "wb") as fh:
+            fh.write(bytes(damaged))
+        with pytest.raises(IndexIntegrityError):
+            GzipIndex.load(path)
+        idx, rebuilt = load_or_rebuild(path, gz, span=65536)
+        assert rebuilt
+        assert open(path, "rb").read() == pristine  # byte-identical replacement
+
+    def test_truncated_file_detected(self, tmp_path, corpus):
+        _, gz = corpus
+        path = str(tmp_path / "reads.idx")
+        build_index(gz, span=65536).save(path)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(blob[: len(blob) // 3])
+        with pytest.raises(IndexIntegrityError):
+            GzipIndex.load(path)
+
+    def test_missing_file_rebuilds(self, tmp_path, corpus):
+        _, gz = corpus
+        path = str(tmp_path / "fresh.idx")
+        idx, rebuilt = load_or_rebuild(path, gz, span=65536)
+        assert rebuilt and os.path.exists(path)
+        idx2, rebuilt2 = load_or_rebuild(path, gz, span=65536)
+        assert not rebuilt2
+        assert idx2.to_bytes() == idx.to_bytes()
+
+    def test_garbage_file_rebuilds_not_crashes(self, tmp_path, corpus):
+        _, gz = corpus
+        path = str(tmp_path / "junk.idx")
+        with open(path, "wb") as fh:
+            fh.write(b"not an index at all")
+        idx, rebuilt = load_or_rebuild(path, gz, span=65536)
+        assert rebuilt
+        assert GzipIndex.load(path).to_bytes() == idx.to_bytes()
+
+
+class TestBgzfSidecar:
+    def test_save_load_round_trip(self, tmp_path, corpus):
+        plain, _ = corpus
+        bz = bgzf_compress(plain, level=6)
+        path = str(tmp_path / "reads.bgzf.idx")
+        blocks = scan_blocks(bz)
+        save_block_index(path, blocks)
+        assert load_block_index(path) == blocks
+
+    def test_reader_accepts_persisted_table(self, tmp_path, corpus):
+        plain, _ = corpus
+        bz = bgzf_compress(plain, level=6)
+        path = str(tmp_path / "reads.bgzf.idx")
+        save_block_index(path, scan_blocks(bz))
+        blocks, rebuilt = load_or_scan_blocks(path, bz)
+        assert not rebuilt
+        reader = BgzfReader(bz, blocks=blocks)
+        assert reader.read_at(123_456, 100) == plain[123_456:123_556]
+
+    def test_damaged_table_rescans_and_heals(self, tmp_path, corpus):
+        plain, _ = corpus
+        bz = bgzf_compress(plain, level=6)
+        path = str(tmp_path / "reads.bgzf.idx")
+        save_block_index(path, scan_blocks(bz))
+        pristine = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(pristine[:-7])  # torn write
+        with pytest.raises(IndexIntegrityError):
+            load_block_index(path)
+        blocks, rebuilt = load_or_scan_blocks(path, bz)
+        assert rebuilt
+        assert open(path, "rb").read() == pristine
+        assert BgzfReader(bz, blocks=blocks).read_at(0, 32) == plain[:32]
