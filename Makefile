@@ -1,6 +1,6 @@
 # Convenience targets (plain pytest works too; see CONTRIBUTING.md).
 
-.PHONY: install test fuzz fuzz-quick lint check bench bench-quick bench-report examples all clean
+.PHONY: install test fuzz fuzz-quick lint lint-sarif check bench bench-quick bench-report examples all clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -21,11 +21,18 @@ fuzz:
 fuzz-quick:
 	PYTHONPATH=src python -m repro fuzz --seeds 3
 
-# AST + dataflow invariant checker (REP001-REP013, docs/STATIC_ANALYSIS.md).
-# Exit 0 clean / 1 findings / 2 internal error; the shipped baseline is
-# empty, so any finding is a regression.
+# AST + dataflow + interprocedural invariant checker (REP001-REP017,
+# docs/STATIC_ANALYSIS.md).  Exit 0 clean / 1 findings / 2 internal
+# error; the shipped baseline is empty, so any finding is a regression.
+# The per-module rule phase fans out over 2 worker processes; the
+# summary line reports wall time and worker count.
 lint:
-	PYTHONPATH=src python -m repro lint src/repro --baseline lint-baseline.json
+	PYTHONPATH=src python -m repro lint src/repro --baseline lint-baseline.json --jobs 2
+
+# Machine-readable SARIF 2.1.0 report (CI uploads this as an artifact).
+# Exit code matches `make lint`; the report is written either way.
+lint-sarif:
+	PYTHONPATH=src python -m repro lint src/repro --format sarif --jobs 2 > lint-report.sarif
 
 check: test fuzz lint
 

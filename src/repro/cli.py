@@ -316,6 +316,8 @@ def _cmd_lint(args) -> int:
         select=args.select,
         ignore=args.ignore,
         verbose=args.verbose,
+        jobs=args.jobs,
+        summary_store=args.summary_store,
     )
 
 
@@ -470,14 +472,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     lnt = sub.add_parser(
         "lint",
-        help="AST + dataflow invariant checker (REP001-REP013)",
+        help="AST + dataflow invariant checker (REP001-REP017)",
         description="Enforce the codebase's decode-safety, error-context "
                     "and parallelism contracts, plus flow-sensitive "
-                    "bit/byte-unit and taint rules. Exit 0 clean, "
+                    "bit/byte-unit and taint rules and interprocedural "
+                    "call-graph analyses. Exit 0 clean, "
                     "1 findings, 2 internal error.",
     )
     lnt.add_argument("paths", nargs="*", help="files or directories to check")
-    lnt.add_argument("--format", choices=("text", "json"), default="text")
+    lnt.add_argument("--format", choices=("text", "json", "sarif"),
+                     default="text")
     lnt.add_argument("--baseline", default=None,
                      help="baseline JSON: suppress known findings (ratchet)")
     lnt.add_argument("--update-baseline", action="store_true",
@@ -488,6 +492,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="comma-separated rule ids to skip")
     lnt.add_argument("-v", "--verbose", action="store_true",
                      help="also list baselined findings")
+    lnt.add_argument("-j", "--jobs", type=int, default=1,
+                     help="process-pool workers for the per-module rule "
+                          "phase (the interprocedural phase stays serial)")
+    lnt.add_argument("--summary-store", default=None, metavar="PATH",
+                     help="JSON cache for interprocedural function "
+                          "summaries, keyed on a project-wide source hash")
     lnt.add_argument("--explain", metavar="REPxxx", default=None,
                      help="print one rule's doc, example violation and "
                           "pragma slug, then exit")

@@ -122,7 +122,7 @@ def _clean_decode(gz_data: bytes, start_bit: int, validator=None) -> tuple[bytes
         try:
             result = inflate(gz_data, start_bit=bit, window=window, max_blocks=1)
         except DeflateError:
-            return bytes(head), bit, False
+            return bytes(head), bit, False  # lint: allow-unbudgeted-alloc(converts the already-decoded prefix; each step is bounded by the max_blocks=1 inflate call)
         if not result.blocks or not _block_looks_clean(result.data):
             return bytes(head), bit, False
         if validator is not None and not validator(window, result.data):

@@ -197,7 +197,7 @@ def _emit_stored(writer: BitWriter, chunk: bytes, bfinal: bool) -> None:
         writer.align_to_byte()
         writer.write(take, 16)
         writer.write(take ^ 0xFFFF, 16)
-        writer.write_bytes(bytes(chunk[offset : offset + take]))
+        writer.write_bytes(chunk[offset : offset + take])
         offset += take
 
 

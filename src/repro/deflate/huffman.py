@@ -135,7 +135,7 @@ class HuffmanDecoder:
                 continue
             rev = reverse_bits(codes[sym], l)
             step = 1 << l
-            table[rev::step] = [(l, sym)] * (size >> l)
+            table[rev::step] = [(l, sym)] * (size >> l)  # lint: allow-unbudgeted-alloc(size is 1 << max_bits <= 32768, fixed by the DEFLATE spec, not stream-controlled)
         self.table = table
 
     def decode(self, reader: BitReader) -> int:

@@ -513,7 +513,7 @@ def _decode_huffman_block(
             if distance >= length:
                 out += out[pos : pos + length]
             else:
-                pattern = bytes(out[pos:])
+                pattern = bytes(out[pos:])  # lint: allow-unbudgeted-alloc(pattern length equals distance, capped at the 32 KiB window by the history check above)
                 reps = -(-length // distance)
                 out += (pattern * reps)[:length]
         else:
@@ -521,7 +521,7 @@ def _decode_huffman_block(
             # pre-block context.  Emit placeholder bytes ('?') — the
             # probe only validates structure, not content.
             unknown = min(length, -pos)
-            out += b"?" * unknown
+            out += b"?" * unknown  # lint: allow-unbudgeted-alloc(unknown <= length <= 258 per the DEFLATE length-code table)
             remaining = length - unknown
             for _ in range(remaining):
                 out.append(out[len(out) - distance])
@@ -725,7 +725,7 @@ def _decode_huffman_block_fast(
             if distance >= length:
                 out += out[start : start + length]
             else:
-                pattern = bytes(out[start:])
+                pattern = bytes(out[start:])  # lint: allow-unbudgeted-alloc(pattern length equals distance <= 32 KiB; total growth capped by the hard_cap check above)
                 reps = -(-length // distance)
                 out += (pattern * reps)[:length]
     finally:

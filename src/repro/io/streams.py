@@ -79,12 +79,12 @@ class PugzStream(io.RawIOBase):
         while True:
             nl = self._buffer.find(b"\n")
             if nl >= 0:
-                out = bytes(self._buffer[: nl + 1])
+                out = bytes(self._buffer[: nl + 1])  # lint: allow-unbudgeted-alloc(converts data already admitted into the read buffer; no new growth)
                 del self._buffer[: nl + 1]
                 self._pos += len(out)
                 return out
             if self._exhausted:
-                out = bytes(self._buffer)
+                out = bytes(self._buffer)  # lint: allow-unbudgeted-alloc(converts data already admitted into the read buffer; no new growth)
                 self._buffer.clear()
                 self._pos += len(out)
                 return out

@@ -7,8 +7,13 @@ see: structured error context at every ``ReproError`` raise site
 process-pool pickle safety for executor-bound callables (REP003),
 seeded-only randomness (REP004), explicit width masking in the bit-level
 hot paths (REP005), no mutable default arguments (REP006), no
-module-level mutable state in fork-sensitive packages (REP007) and
-``__all__``/export agreement in package ``__init__`` files (REP008).
+module-level mutable state in fork-sensitive packages (REP007),
+``__all__``/export agreement in package ``__init__`` files (REP008),
+the flow-sensitive unit/taint/marker analyses (REP009–REP011), pragma
+hygiene and bounded retries (REP012–REP013), and the interprocedural
+call-graph rules — cross-function unit confusion, cross-function decode
+taint, executor race/fork-safety, unbudgeted allocation (REP014–REP017,
+built on :mod:`repro.lint.callgraph` and :mod:`repro.lint.summaries`).
 
 Three front doors:
 
@@ -21,9 +26,21 @@ syntax (``# lint: allow-<slug>(<reason>)``) and the baseline workflow.
 """
 
 from repro.lint.baseline import Baseline
-from repro.lint.engine import Linter, LintResult, lint_paths, lint_source
+from repro.lint.engine import (
+    Linter,
+    LintResult,
+    lint_paths,
+    lint_source,
+    lint_sources,
+)
 from repro.lint.findings import Finding
-from repro.lint.registry import LintConfigError, Rule, all_rules, resolve_rules
+from repro.lint.registry import (
+    LintConfigError,
+    ProjectRule,
+    Rule,
+    all_rules,
+    resolve_rules,
+)
 from repro.lint.runner import run_lint
 
 __all__ = [
@@ -32,10 +49,12 @@ __all__ = [
     "LintConfigError",
     "LintResult",
     "Linter",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "lint_paths",
     "lint_source",
+    "lint_sources",
     "resolve_rules",
     "run_lint",
 ]

@@ -26,7 +26,14 @@ from typing import Any, Dict
 
 from repro.lint.cfg import CFG
 
-__all__ = ["Env", "ForwardAnalysis", "solve", "transfer_block"]
+__all__ = [
+    "Env",
+    "ForwardAnalysis",
+    "solve",
+    "transfer_block",
+    "replay_blocks",
+    "join_must_flag",
+]
 
 Env = Dict[str, Any]
 
@@ -91,6 +98,41 @@ def transfer_block(analysis: ForwardAnalysis, block, env: Env) -> Env:
     for stmt in block.stmts:
         analysis.transfer_stmt(stmt, env)
     return env
+
+
+def join_must_flag(a: Any, b: Any) -> Any:
+    """All-paths join for boolean facts (dominance-style analyses).
+
+    A fact represented as ``True``-present / missing survives a join
+    only when *both* sides carry it: returning ``None`` makes the
+    solver drop the key, so "a budget check dominates this point" holds
+    exactly when it holds on every incoming path.  Used by the
+    interprocedural summaries (REP017) on top of the same solver the
+    may-analyses use.
+    """
+    if a is True and b is True:
+        return True
+    return None
+
+
+def replay_blocks(cfg: CFG, analysis: ForwardAnalysis, envs_in: dict[int, Env]):
+    """Yield ``("stmt", stmt, env)`` / ``("test", test, env)`` in replay order.
+
+    Walks every block from its solved entry environment, yielding each
+    statement with the environment holding *before* its transfer (a
+    sink in ``x = f(x)`` must see the pre-assignment binding of ``x``),
+    then the block's branch test under the post-block environment.
+    Shared by the intraprocedural FlowRule driver and the summary
+    builder, so both phases agree on what an environment "at" a
+    statement means.
+    """
+    for block in cfg:
+        env = dict(envs_in.get(block.bid, {}))
+        for stmt in block.stmts:
+            yield "stmt", stmt, env
+            analysis.transfer_stmt(stmt, env)
+        if block.test is not None:
+            yield "test", block.test, env
 
 
 def solve(cfg: CFG, analysis: ForwardAnalysis) -> dict[int, Env]:

@@ -67,6 +67,13 @@ class ModuleInfo:
             for pkg in packages
         )
 
+    @property
+    def source_hash(self) -> str:
+        """SHA-1 of the source text (summary-store cache key component)."""
+        import hashlib
+
+        return hashlib.sha1(self.source.encode()).hexdigest()
+
     def line_text(self, lineno: int) -> str:
         lines = self.source.splitlines()
         return lines[lineno - 1] if 1 <= lineno <= len(lines) else ""

@@ -16,7 +16,14 @@ from repro.errors import ReproError
 from repro.lint.findings import Finding
 from repro.lint.module import ModuleInfo
 
-__all__ = ["Rule", "LintConfigError", "register", "all_rules", "resolve_rules"]
+__all__ = [
+    "Rule",
+    "ProjectRule",
+    "LintConfigError",
+    "register",
+    "all_rules",
+    "resolve_rules",
+]
 
 
 class LintConfigError(ReproError):
@@ -57,6 +64,32 @@ class Rule:
             hint=hint,
             severity=self.severity,
         )
+
+
+class ProjectRule(Rule):
+    """A rule that analyses the *whole project* at once.
+
+    The interprocedural rules (REP014–REP017) need the call graph and
+    function summaries spanning every module of the run, so the engine
+    calls :meth:`check_project` exactly once per run — after all files
+    parse — instead of :meth:`check` per module.  Findings are still
+    anchored at a concrete ``(path, line)``, so pragma suppression and
+    baseline matching work unchanged.
+    """
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Project rules do not run per module."""
+        return iter(())
+
+    def check_project(self, project) -> Iterator[Finding]:
+        """Yield findings over a :class:`repro.lint.callgraph.Project`."""
+        raise NotImplementedError
+
+    def finding_at(
+        self, module: ModuleInfo, node: ast.AST, message: str, hint: str = ""
+    ) -> Finding:
+        """Alias of :meth:`Rule.finding`, kept for call-site clarity."""
+        return self.finding(module, node, message, hint)
 
 
 _REGISTRY: dict[str, type[Rule]] = {}

@@ -5,9 +5,11 @@ decorator) is what :func:`repro.lint.registry.all_rules` relies on.
 """
 
 from repro.lint.rules.bounded_retry import BoundedRetryRule
+from repro.lint.rules.budget_alloc import UnbudgetedAllocRule
 from repro.lint.rules.context import ErrorContextRule
 from repro.lint.rules.defaults import MutableDefaultRule
 from repro.lint.rules.excepts import BroadExceptRule
+from repro.lint.rules.exec_safety import ExecSafetyRule
 from repro.lint.rules.exports import ExportSyncRule
 from repro.lint.rules.marker_escape import MarkerEscapeRule
 from repro.lint.rules.masking import UnmaskedWidthRule
@@ -17,6 +19,8 @@ from repro.lint.rules.pragma_reason import PragmaReasonRule
 from repro.lint.rules.randomness import UnseededRandomnessRule
 from repro.lint.rules.unit_confusion import UnitConfusionRule
 from repro.lint.rules.unvalidated_decode import UnvalidatedDecodeRule
+from repro.lint.rules.xfunc_taint import CrossDecodeTaintRule
+from repro.lint.rules.xfunc_units import CrossUnitConfusionRule
 
 __all__ = [
     "BoundedRetryRule",
@@ -32,4 +36,8 @@ __all__ = [
     "UnvalidatedDecodeRule",
     "MarkerEscapeRule",
     "PragmaReasonRule",
+    "CrossUnitConfusionRule",
+    "CrossDecodeTaintRule",
+    "ExecSafetyRule",
+    "UnbudgetedAllocRule",
 ]

@@ -23,7 +23,7 @@ import ast
 from typing import Iterator
 
 from repro.lint.cfg import build_cfg
-from repro.lint.dataflow import Env, ForwardAnalysis, solve
+from repro.lint.dataflow import Env, ForwardAnalysis, replay_blocks, solve
 from repro.lint.findings import Finding
 from repro.lint.module import ModuleInfo
 from repro.lint.registry import Rule
@@ -75,12 +75,7 @@ class FlowRule(Rule):
             analysis = self.make_analysis(module, func)
             cfg = build_cfg(body)
             envs_in = solve(cfg, analysis)
-            for block in cfg:
-                env = dict(envs_in.get(block.bid, {}))
-                for stmt in block.stmts:
-                    for node, message, hint in analysis.check_stmt(stmt, env):
-                        yield self.finding(module, node, message, hint=hint)
-                    analysis.transfer_stmt(stmt, env)
-                if block.test is not None:
-                    for node, message, hint in analysis.check_test(block.test, env):
-                        yield self.finding(module, node, message, hint=hint)
+            for kind, node, env in replay_blocks(cfg, analysis, envs_in):
+                checker = analysis.check_stmt if kind == "stmt" else analysis.check_test
+                for hit, message, hint in checker(node, env):
+                    yield self.finding(module, hit, message, hint=hint)

@@ -1,0 +1,127 @@
+"""REP017 — in-loop allocations reachable with no budget check.
+
+The resource-budget layer (:mod:`repro.robustness.limits`) only
+protects the pipeline if the hot allocation sites actually consult it.
+An attacker-shaped gzip stream controls loop trip counts and buffer
+sizes, so an allocation with a *computed* size inside a loop —
+``bytes(n)``, ``bytearray(n)``, ``b"\\x00" * n`` — is an output-
+amplification sink unless some ``ResourceBudget.check_*`` call
+dominates it.
+
+The intraprocedural view is not enough: the check usually lives one or
+two frames *up* (``inflate()`` checks the budget, then calls the block
+decoder that allocates).  This rule therefore works on the function
+summaries: :func:`repro.lint.summaries.run_budget` records each
+unit's unguarded in-loop allocation sites and propagates them through
+*unguarded* call edges only — a caller that performs a budget check
+before the call absorbs everything below it.  What remains in the
+summary of an **entry point** (a function no project code calls, or a
+module top level) is allocation the pipeline can reach with no budget
+standing between the input and the heap.  Findings anchor at the
+allocation expression itself, deduplicated across entry points.
+
+Known imprecision, by design: a branch testing a ``budget``-named
+value (``if budget is not None:``) marks both arms checked — the
+``None`` arm is the caller explicitly opting out of limits, which is a
+policy choice, not a missing check.
+
+Escape hatch: ``# lint: allow-unbudgeted-alloc(<reason>)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.callgraph import Project
+from repro.lint.findings import Finding
+from repro.lint.registry import ProjectRule, register
+from repro.lint.summaries import Site, _call_resolver, run_budget
+
+__all__ = ["UnbudgetedAllocRule"]
+
+_HINT = (
+    "thread a ResourceBudget into the function and call "
+    "budget.check_block()/check_output() before (or inside) the loop, "
+    "or perform the check in the caller before handing control down"
+)
+
+
+@register
+class UnbudgetedAllocRule(ProjectRule):
+    rule_id = "REP017"
+    slug = "unbudgeted-alloc"
+    summary = (
+        "computed-size allocations in loops must be dominated by a "
+        "ResourceBudget check somewhere on every call path"
+    )
+    example_bad = (
+        "def _emit(window, length):\n"
+        "    out = bytearray()\n"
+        "    while length > 0:\n"
+        "        out += bytes(length)       # grows with no cap\n"
+        "        length -= len(window)\n"
+        "    return out\n"
+        "\n"
+        "def inflate_block(reader, window, length):\n"
+        "    return _emit(window, length)\n"
+    )
+    example_good = (
+        "def _emit(window, length, budget):\n"
+        "    out = bytearray()\n"
+        "    while length > 0:\n"
+        "        budget.check_output(len(out) + length)\n"
+        "        out += bytes(length)\n"
+        "        length -= len(window)\n"
+        "    return out\n"
+        "\n"
+        "def inflate_block(reader, window, length, budget):\n"
+        "    return _emit(window, length, budget)\n"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = project.call_graph()
+        summaries = project.summaries()
+        # Entry points: units no project code calls — counting only
+        # callers *outside* the unit's own SCC, so a recursive cluster
+        # nothing else invokes is still judged rather than skipped.
+        scc_of: dict[str, int] = {}
+        for i, scc in enumerate(project.scc_order()):
+            for member in scc:
+                scc_of[member] = i
+        exposed: list[Site] = []
+        for qualname, module, body, func in project.iter_units():
+            if func is None:
+                # Module top level: always an entry point; not covered
+                # by the summary table, so run the budget pass directly.
+                resolve = _call_resolver(project, summaries, module, None, body)
+                sites, _ = run_budget(module, None, body, resolve)
+                exposed.extend(sites)
+                continue
+            outside_callers = [
+                site for site in graph.callers_of(qualname)
+                if scc_of.get(site.caller) != scc_of.get(qualname)
+            ]
+            if outside_callers:
+                continue  # some project caller may guard it; judged there
+            summary = summaries.get(qualname)
+            if summary is not None:
+                exposed.extend(summary.unbudgeted_allocs)
+
+        seen: set[tuple[str, int, str]] = set()
+        for site in sorted(exposed, key=lambda s: (s.path, s.line, s.detail)):
+            key = (site.path, site.line, site.detail)
+            if key in seen:
+                continue
+            seen.add(key)
+            module = project.modules_by_relpath.get(site.path)
+            if module is None:
+                continue
+            anchor = ast.Pass(lineno=site.line, col_offset=0)
+            yield self.finding(
+                module,
+                anchor,
+                f"{site.detail} inside a loop with no dominating "
+                "ResourceBudget check on any call path into it",
+                hint=_HINT,
+            )

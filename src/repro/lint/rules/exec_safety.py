@@ -1,0 +1,135 @@
+"""REP016 — static race/fork-safety detector for executor callables.
+
+Everything submitted to an :class:`~repro.parallel.executor.Executor`
+runs concurrently — thread pools share the interpreter, process pools
+fork/spawn and pickle.  REP003 checks the submitted callable *itself*
+(lambda/closure/bound method at the call site); this rule walks the
+call graph from every submission site and checks everything
+**transitively reachable**:
+
+* **module-state races** — a reachable function mutates module-level
+  state (appends to a module list, writes a module dict, rebinds a
+  ``global``).  Under threads that is a data race; under processes the
+  mutation silently diverges per worker — the process-pool analogue of
+  a racy write;
+* **lock-across-call** — a reachable function holds a non-reentrant
+  lock (``threading.Lock``-shaped; ``RLock`` is exempt) across a
+  function call: if any callee ever takes the same lock, the pool
+  deadlocks, and a preempted worker holding it stalls every sibling;
+* **unpicklable closures** — the submission resolves (through a local
+  alias the intraprocedural REP003 cannot see) to a lambda or to a
+  nested function that closes over enclosing-scope names: pickling
+  fails only when the ``process`` backend is selected, the classic
+  works-on-my-machine bug.
+
+Findings anchor at the submission site — that is where the parallel
+region begins and where the fix (or the pragma, with its documented
+invariant) belongs.
+
+Escape hatch: ``# lint: allow-exec-unsafe(<reason>)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.callgraph import Project, SubmissionSite
+from repro.lint.findings import Finding
+from repro.lint.registry import ProjectRule, register
+
+__all__ = ["ExecSafetyRule"]
+
+_HINT = (
+    "make worker functions pure: pass state through the items list and "
+    "return results; move locks out of worker code paths; hoist "
+    "submitted callables to module level"
+)
+
+
+@register
+class ExecSafetyRule(ProjectRule):
+    rule_id = "REP016"
+    slug = "exec-unsafe"
+    summary = (
+        "executor-submitted callables must be transitively free of "
+        "module-state mutation, lock-across-call, and closures"
+    )
+    example_bad = (
+        "_seen = {}\n"
+        "\n"
+        "def _record(chunk):\n"
+        "    _seen[chunk.index] = chunk.crc    # shared dict, no lock\n"
+        "\n"
+        "def _work(chunk):\n"
+        "    _record(chunk)                    # reachable from the pool\n"
+        "    return chunk.decode()\n"
+        "\n"
+        "def run(executor, chunks):\n"
+        "    return executor.map_outcomes(_work, chunks)\n"
+    )
+    example_good = (
+        "def _work(chunk):\n"
+        "    return (chunk.index, chunk.crc, chunk.decode())\n"
+        "\n"
+        "def run(executor, chunks):\n"
+        "    outcomes = executor.map_outcomes(_work, chunks)\n"
+        "    seen = {i: crc for i, crc, _ in (o.value for o in outcomes)}\n"
+        "    return seen\n"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = project.call_graph()
+        summaries = project.summaries()
+        for site in graph.submissions:
+            yield from self._check_closure(project, site)
+            if site.callee is None:
+                continue
+            for reached in graph.reachable_from(site.callee):
+                summary = summaries.get(reached)
+                if summary is None:
+                    continue
+                for s in summary.mutates_module_state:
+                    yield self.finding(
+                        site.module,
+                        site.node,
+                        f"{site.method}() callable {site.callee} reaches "
+                        f"{reached}(), which {s.detail} — a data race "
+                        "across pool workers",
+                        hint=_HINT,
+                    )
+                for s in summary.lock_across_call:
+                    yield self.finding(
+                        site.module,
+                        site.node,
+                        f"{site.method}() callable {site.callee} reaches "
+                        f"{reached}(), which {s.detail}",
+                        hint=_HINT,
+                    )
+
+    def _check_closure(
+        self, project: Project, site: SubmissionSite
+    ) -> Iterator[Finding]:
+        """Alias-resolved lambdas/closures (REP003 sees only direct ones)."""
+        if isinstance(site.resolved_expr, ast.Lambda):
+            yield self.finding(
+                site.module,
+                site.node,
+                f"{site.method}() callable is a lambda (via a local "
+                "alias); it cannot cross a process-pool pickle boundary",
+                hint=_HINT,
+            )
+            return
+        if site.callee is None:
+            return
+        info = project.function(site.callee)
+        if info is not None and info.is_closure:
+            names = ", ".join(sorted(info.closure_names))
+            yield self.finding(
+                site.module,
+                site.node,
+                f"{site.method}() callable {site.callee} closes over "
+                f"enclosing-scope state ({names}); pickling drags that "
+                "state across the fork — or fails outright",
+                hint=_HINT,
+            )

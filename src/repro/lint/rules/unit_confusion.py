@@ -103,8 +103,16 @@ def _is_len_of_buffer(node: ast.expr, buffers: set[str]) -> bool:
 
 
 class _UnitsAnalysis(FlowAnalysis):
-    def __init__(self, func: ast.FunctionDef | None) -> None:
+    """Units transfer functions (shared with the interprocedural layer).
+
+    ``make_evaluator`` lets :mod:`repro.lint.summaries` swap in an
+    evaluator that also knows callee return units; REP009 itself stays
+    strictly intraprocedural with the plain :class:`UnitEvaluator`.
+    """
+
+    def __init__(self, func: ast.FunctionDef | None, make_evaluator=None) -> None:
         self.func = func
+        self.make_evaluator = make_evaluator or UnitEvaluator
         self.buffers = set(BYTE_BUFFER_NAMES)
         if func is not None:
             args = func.args
@@ -145,7 +153,7 @@ class _UnitsAnalysis(FlowAnalysis):
         return join_units(a, b)
 
     def transfer_stmt(self, stmt: ast.stmt, env: Env) -> None:
-        ev = UnitEvaluator(env)
+        ev = self.make_evaluator(env)
         if isinstance(stmt, ast.Assign):
             self._bind_targets(stmt.targets, stmt.value, ev, env)
         elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
@@ -212,7 +220,7 @@ class _UnitsAnalysis(FlowAnalysis):
         yield from self._scan(ast.walk(test), env)
 
     def _scan(self, nodes, env: Env) -> Iterator[tuple[ast.AST, str, str]]:
-        ev = UnitEvaluator(env)
+        ev = self.make_evaluator(env)
         for node in nodes:
             if isinstance(node, ast.Call):
                 yield from self._check_call(node, ev)

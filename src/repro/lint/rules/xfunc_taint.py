@@ -1,0 +1,124 @@
+"""REP015 — unvalidated decode values reaching sinks in a *callee*.
+
+REP010 reports a raw ``BitReader.read()`` value hitting a shift, index
+or allocation sink in the same function.  Corrupt-input amplification
+does not respect function boundaries, though: the two cross-function
+shapes are
+
+* **taint down** — a fresh, unvalidated decode value is passed as an
+  argument to a project function whose summary says that parameter
+  reaches a sink unsanitized (at any depth: sink parameters propagate
+  transitively through the bottom-up summary computation);
+* **taint up** — a helper *returns* a raw decode value
+  (``returns_fresh_taint`` in its summary) and the caller sinks the
+  helper's result locally.
+
+Sanitization contracts match REP010 exactly — masks, modulo,
+``min``/``max`` against a clean bound, and any dominating comparison
+clear the taint, in caller or callee.  Direct read-then-sink in one
+function stays REP010's finding; this rule only fires when the flow
+crossed a resolved call edge, so the two never double-report.
+
+Escape hatch: ``# lint: allow-cross-decode-taint(<reason>)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.callgraph import MODULE_UNIT, Project
+from repro.lint.findings import Finding
+from repro.lint.registry import ProjectRule, register
+from repro.lint.summaries import (
+    FRESH,
+    RET_PREFIX,
+    run_taint,
+    unit_resolver,
+)
+
+__all__ = ["CrossDecodeTaintRule"]
+
+_HINT = (
+    "bounds-check the decoded value before the call (if v > LIMIT: "
+    "raise ...), sanitize with a mask/min(), or validate the parameter "
+    "inside the callee before it reaches the sink"
+)
+
+_SINK_LABELS = {
+    "shift": "a shift amount",
+    "index": "an index",
+    "alloc": "an allocation size",
+    "repeat": "a sequence repeat count",
+}
+
+
+@register
+class CrossDecodeTaintRule(ProjectRule):
+    rule_id = "REP015"
+    slug = "cross-decode-taint"
+    summary = (
+        "raw BitReader values must not cross a call boundary into a "
+        "shift/index/allocation sink — in either direction"
+    )
+    example_bad = (
+        "def expand(count, table):\n"
+        "    return table[count]            # sink, no validation\n"
+        "\n"
+        "def decode(reader, table):\n"
+        "    n = reader.read(7)             # raw decode value\n"
+        "    return expand(n, table)        # crosses the boundary tainted\n"
+    )
+    example_good = (
+        "def expand(count, table):\n"
+        "    if count >= len(table):\n"
+        "        raise DeflateError('bad count', stage='inflate')\n"
+        "    return table[count]\n"
+        "\n"
+        "def decode(reader, table):\n"
+        "    n = reader.read(7)\n"
+        "    return expand(n, table)        # callee validates before use\n"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        summaries = project.summaries()
+        resolver_factory = unit_resolver(project, summaries)
+        for qualname, module, body, func in project.iter_units():
+            resolve = resolver_factory(module, func, body)
+            events, _labels, _fresh = run_taint(func, body, resolve)
+            where = qualname.rsplit(".", 1)[-1]
+            where = "module level" if where == MODULE_UNIT else f"{where}()"
+            for event in events:
+                fresh = FRESH in event.labels
+                via_return = sorted(
+                    lbl[len(RET_PREFIX):]
+                    for lbl in event.labels
+                    if lbl.startswith(RET_PREFIX)
+                )
+                if not fresh and not via_return:
+                    continue  # parameter labels are summary facts, not findings
+                if event.kind == "call-arg":
+                    origin = (
+                        f"decode value returned by {via_return[0]}()"
+                        if via_return and not fresh
+                        else "raw decode value"
+                    )
+                    yield self.finding(
+                        module,
+                        event.node,
+                        f"unvalidated {origin} passed to parameter "
+                        f"{event.param!r} of {event.callee}(), which uses "
+                        f"it in a taint sink ({where})",
+                        hint=_HINT,
+                    )
+                elif via_return:
+                    # Local sink fed by a callee's raw return value.
+                    # (FRESH-only local sinks are REP010's findings.)
+                    yield self.finding(
+                        module,
+                        event.node,
+                        f"unvalidated decode value returned by "
+                        f"{via_return[0]}() used as "
+                        f"{_SINK_LABELS.get(event.kind, 'a sink')} in {where}",
+                        hint=_HINT,
+                    )

@@ -1,0 +1,123 @@
+"""REP014 — bit/byte unit confusion across function boundaries.
+
+REP009 catches a bit offset fed to ``seek()`` inside one function; it
+goes dark the moment the offset passes through a helper.  This rule
+closes that gap with the function summaries of
+:mod:`repro.lint.summaries`:
+
+* every *resolved* project call site is a sink — an argument with a
+  definite unit (per the same four-point lattice REP009 uses) must not
+  land on a parameter whose summary says the *opposite* unit, whether
+  the parameter's unit comes from a ``BitOffset``/``ByteOffset``
+  annotation or from its name;
+* the unit evaluator consults callee summaries, so a helper returning
+  ``reader.tell_bits()`` makes ``helper()`` a bit-valued expression —
+  at any call depth, because summaries are computed bottom-up over the
+  call-graph SCCs (recursion converges at the fixpoint).
+
+Calls the resolver cannot pin to exactly one project function are not
+checked: silence over guessing, same contract as REP009.
+
+Escape hatch: ``# lint: allow-cross-unit-confusion(<reason>)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.callgraph import MODULE_UNIT, Project
+from repro.lint.cfg import build_cfg
+from repro.lint.dataflow import replay_blocks, solve
+from repro.lint.findings import Finding
+from repro.lint.registry import ProjectRule, register
+from repro.lint.rules._flow import walk_own_expressions
+from repro.lint.summaries import (
+    SummaryUnitEvaluator,
+    UnitsSummaryAnalysis,
+    _map_args,
+    unit_resolver,
+)
+from repro.lint.units import Unit
+
+__all__ = ["CrossUnitConfusionRule"]
+
+_HINT = (
+    "convert at the call boundary: bits_to_bytes()/ >> 3 for bit->byte, "
+    "bytes_to_bits()/ * 8 for byte->bit, or annotate the parameter with "
+    "the unit it really has (repro.units.BitOffset/ByteOffset)"
+)
+
+_OPPOSITE = {Unit.BIT: Unit.BYTE, Unit.BYTE: Unit.BIT}
+
+
+@register
+class CrossUnitConfusionRule(ProjectRule):
+    rule_id = "REP014"
+    slug = "cross-unit-confusion"
+    summary = (
+        "a bit-valued expression (at any call depth) must not flow into "
+        "a byte-unit parameter of a project function, or vice versa"
+    )
+    example_bad = (
+        "def resync_origin(reader):\n"
+        "    return reader.tell_bits()      # bit offset\n"
+        "\n"
+        "def plan(reader, nbytes_done: int):\n"
+        "    return split_chunk(resync_origin(reader))   # byte parameter\n"
+        "\n"
+        "def split_chunk(start_byte):\n"
+        "    return start_byte // 2\n"
+    )
+    example_good = (
+        "def resync_origin(reader):\n"
+        "    return reader.tell_bits()\n"
+        "\n"
+        "def plan(reader, nbytes_done: int):\n"
+        "    return split_chunk(resync_origin(reader) >> 3)  # bit -> byte\n"
+        "\n"
+        "def split_chunk(start_byte):\n"
+        "    return start_byte // 2\n"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        summaries = project.summaries()
+        resolver_factory = unit_resolver(project, summaries)
+        for qualname, module, body, func in project.iter_units():
+            resolve = resolver_factory(module, func, body)
+            analysis = UnitsSummaryAnalysis(func, resolve)
+            cfg = build_cfg(body)
+            envs_in = solve(cfg, analysis)
+            for kind, node, env in replay_blocks(cfg, analysis, envs_in):
+                nodes = (
+                    walk_own_expressions(node) if kind == "stmt" else ast.walk(node)
+                )
+                ev = SummaryUnitEvaluator(env, resolve)
+                for sub in nodes:
+                    if isinstance(sub, ast.Call):
+                        yield from self._check_call(
+                            module, qualname, sub, ev, resolve
+                        )
+
+    def _check_call(self, module, caller: str, call: ast.Call, ev, resolve):
+        hit = resolve(call)
+        if hit is None:
+            return
+        info, summary = hit
+        for param, arg in _map_args(info, summary, call):
+            declared = summary.param_units.get(param)
+            if declared is None:
+                continue
+            declared_unit = Unit(declared)
+            arg_unit = ev.unit_of(arg)
+            if arg_unit is _OPPOSITE.get(declared_unit):
+                where = caller.rsplit(".", 1)[-1]
+                where = "module level" if where == MODULE_UNIT else f"{where}()"
+                yield self.finding(
+                    module,
+                    call,
+                    f"{arg_unit.value}-valued expression passed to "
+                    f"{declared_unit.value}-unit parameter {param!r} of "
+                    f"{summary.qualname}() from {where}",
+                    hint=_HINT,
+                )

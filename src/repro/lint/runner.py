@@ -75,6 +75,7 @@ def format_text(result: LintResult, *, verbose: bool = False) -> str:
     )
     if result.baselined:
         summary += f", {len(result.baselined)} baselined"
+    summary += f" [{result.duration:.2f}s, jobs={result.jobs}]"
     lines.append(summary)
     if verbose and result.baselined:
         lines.append("baselined findings:")
@@ -110,6 +111,8 @@ def run_lint(
     select: str | None = None,
     ignore: str | None = None,
     verbose: bool = False,
+    jobs: int = 1,
+    summary_store: str | None = None,
     out=None,
 ) -> int:
     """Run the analyzer; print a report; return the process exit code."""
@@ -126,7 +129,12 @@ def run_lint(
             # fine; a missing one passed explicitly for reading is too —
             # the first run simply reports everything, then --update-
             # baseline materialises the file.
-        linter = Linter(rules=rules, baseline=baseline)
+        linter = Linter(
+            rules=rules,
+            baseline=baseline,
+            jobs=jobs,
+            summary_store=Path(summary_store) if summary_store else None,
+        )
         result = linter.run([Path(p) for p in paths])
     except LintConfigError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
@@ -147,6 +155,12 @@ def run_lint(
         )
         return 0
 
-    print(format_json(result) if fmt == "json" else
-          format_text(result, verbose=verbose), file=out)
+    if fmt == "json":
+        print(format_json(result), file=out)
+    elif fmt == "sarif":
+        from repro.lint.sarif import format_sarif
+
+        print(format_sarif(result, linter.rules), file=out)
+    else:
+        print(format_text(result, verbose=verbose), file=out)
     return result.exit_code()

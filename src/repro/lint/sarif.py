@@ -1,0 +1,132 @@
+"""SARIF 2.1.0 output for ``repro lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is the lingua
+franca CI systems ingest for code-scanning annotations.  One run maps
+onto the format naturally:
+
+* the **tool driver** advertises every *selected* rule with its id,
+  summary and help URI-free markdown (the ``--explain`` text), so
+  viewers can render rule docs without access to this repo;
+* each finding becomes a **result** holding the rule id, message with
+  the fix hint folded in, a physical location, and a
+  ``partialFingerprints`` entry carrying the analyzer's own
+  line-insensitive fingerprint (version-tagged as
+  ``reproLintFingerprint/v1``) so SARIF consumers track findings
+  across commits exactly like the baseline does;
+* parse failures become **tool execution notifications** with level
+  ``error`` — they are analyzer breakage, not code findings, matching
+  the exit-code-2 contract.
+
+Baselined findings are emitted with ``"baselineState": "unchanged"``
+rather than dropped: SARIF consumers are expected to filter on
+baseline state, and hiding them here would make the artifact disagree
+with ``--update-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule
+
+__all__ = ["FINGERPRINT_KEY", "SARIF_VERSION", "to_sarif", "format_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+#: Version-tagged key for ``partialFingerprints`` — bump the suffix if
+#: :meth:`Finding.fingerprint` ever changes its recipe.
+FINGERPRINT_KEY = "reproLintFingerprint/v1"
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_descriptor(rule: Rule) -> dict:
+    import sys
+
+    doc = (sys.modules[type(rule).__module__].__doc__ or "").strip()
+    descriptor = {
+        "id": rule.rule_id,
+        "name": type(rule).__name__,
+        "shortDescription": {"text": rule.summary},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule.severity, "warning")
+        },
+        "properties": {
+            "slug": rule.slug,
+            "pragma": f"# lint: allow-{rule.slug}(<reason>)",
+        },
+    }
+    if doc:
+        descriptor["fullDescription"] = {"text": doc.splitlines()[0]}
+        descriptor["help"] = {"text": doc, "markdown": doc}
+    return descriptor
+
+
+def _result(finding: Finding, rule_index: dict[str, int], state: str | None) -> dict:
+    message = finding.message
+    if finding.hint:
+        message += f" (hint: {finding.hint})"
+    result = {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS.get(finding.severity, "warning"),
+        "message": {"text": message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path,
+                    "uriBaseId": "SRCROOT",
+                },
+                "region": {
+                    "startLine": finding.line,
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+        "partialFingerprints": {FINGERPRINT_KEY: finding.fingerprint()},
+    }
+    if finding.rule_id in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule_id]
+    if state is not None:
+        result["baselineState"] = state
+    return result
+
+
+def to_sarif(result: LintResult, rules: list[Rule]) -> dict:
+    """Build the SARIF log object for one engine run."""
+    descriptors = [_rule_descriptor(r) for r in sorted(rules, key=lambda r: r.rule_id)]
+    rule_index = {d["id"]: i for i, d in enumerate(descriptors)}
+    results = [_result(f, rule_index, "new" if result.baselined else None)
+               for f in result.findings]
+    results += [_result(f, rule_index, "unchanged") for f in result.baselined]
+    invocation = {
+        "executionSuccessful": not result.internal_errors,
+        "toolExecutionNotifications": [
+            {"level": "error", "message": {"text": err}}
+            for err in result.internal_errors
+        ],
+    }
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "rules": descriptors,
+                },
+            },
+            "invocations": [invocation],
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+        }],
+    }
+
+
+def format_sarif(result: LintResult, rules: list[Rule]) -> str:
+    return json.dumps(to_sarif(result, rules), indent=2, sort_keys=False)

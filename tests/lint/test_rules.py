@@ -546,8 +546,8 @@ def test_registry_is_complete():
     from repro.lint import all_rules
 
     ids = [cls.rule_id for cls in all_rules()]
-    assert ids == [f"REP{i:03d}" for i in range(1, 14)]
-    assert len({cls.slug for cls in all_rules()}) == 13
+    assert ids == [f"REP{i:03d}" for i in range(1, 18)]
+    assert len({cls.slug for cls in all_rules()}) == 17
     assert all(cls.summary for cls in all_rules())
 
 

@@ -1,0 +1,180 @@
+"""SARIF output tests: schema validity, fingerprints, CLI integration.
+
+The emitted log is validated against a vendored subset of the official
+OASIS SARIF 2.1.0 schema (``tests/lint/data/sarif-2.1.0-subset.
+schema.json``) — required fields and enums match the full schema, so a
+log that fails the subset fails the real one.  Validation runs with
+``jsonschema`` draft-07 semantics.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import Linter, resolve_rules
+from repro.lint.sarif import FINGERPRINT_KEY, to_sarif
+
+pytestmark = pytest.mark.lint
+
+jsonschema = pytest.importorskip("jsonschema")
+
+SCHEMA = json.loads(
+    (Path(__file__).parent / "data" / "sarif-2.1.0-subset.schema.json")
+    .read_text(encoding="utf-8")
+)
+
+ONE_FINDING = (
+    "from repro.errors import SyncError\n"
+    "def f():\n"
+    "    raise SyncError('no block found')\n"
+)
+
+
+def validate(log: dict) -> None:
+    jsonschema.validate(log, SCHEMA, cls=jsonschema.Draft7Validator)
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    pkg = tmp_path / "repro" / "somemod"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("__all__ = []\n")
+    return pkg
+
+
+def run_linter(tree, **kwargs) -> tuple:
+    linter = Linter(rules=resolve_rules(), root=tree.parent.parent, **kwargs)
+    return linter, linter.run([tree])
+
+
+class TestSarifDocument:
+    def test_clean_run_validates(self, tree):
+        (tree / "mod.py").write_text("x = 1\n")
+        linter, result = run_linter(tree)
+        log = to_sarif(result, linter.rules)
+        validate(log)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"] == []
+        assert log["runs"][0]["invocations"][0]["executionSuccessful"]
+
+    def test_findings_validate_and_carry_fingerprints(self, tree):
+        (tree / "mod.py").write_text(ONE_FINDING)
+        linter, result = run_linter(tree)
+        log = to_sarif(result, linter.rules)
+        validate(log)
+        (res,) = [r for r in log["runs"][0]["results"]]
+        assert res["ruleId"] == "REP001"
+        finding = result.findings[0]
+        assert res["partialFingerprints"][FINGERPRINT_KEY] == finding.fingerprint()
+        region = res["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == finding.line
+        assert region["startColumn"] == finding.col + 1
+
+    def test_rule_metadata_covers_selected_rules(self, tree):
+        (tree / "mod.py").write_text("x = 1\n")
+        linter, result = run_linter(tree)
+        log = to_sarif(result, linter.rules)
+        validate(log)
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        ids = [r["id"] for r in rules]
+        assert ids == sorted(ids)
+        assert {"REP014", "REP015", "REP016", "REP017"} <= set(ids)
+        by_id = {r["id"]: r for r in rules}
+        assert by_id["REP016"]["properties"]["pragma"] == (
+            "# lint: allow-exec-unsafe(<reason>)"
+        )
+        assert by_id["REP014"]["help"]["text"]
+
+    def test_rule_index_points_at_descriptor(self, tree):
+        (tree / "mod.py").write_text(ONE_FINDING)
+        linter, result = run_linter(tree)
+        log = to_sarif(result, linter.rules)
+        run = log["runs"][0]
+        (res,) = run["results"]
+        descriptor = run["tool"]["driver"]["rules"][res["ruleIndex"]]
+        assert descriptor["id"] == res["ruleId"]
+
+    def test_parse_error_becomes_notification(self, tree):
+        (tree / "mod.py").write_text("def broken(:\n")
+        linter, result = run_linter(tree)
+        log = to_sarif(result, linter.rules)
+        validate(log)
+        inv = log["runs"][0]["invocations"][0]
+        assert not inv["executionSuccessful"]
+        (note,) = inv["toolExecutionNotifications"]
+        assert note["level"] == "error"
+        assert "mod.py" in note["message"]["text"]
+
+    def test_baselined_findings_marked_unchanged(self, tree):
+        from repro.lint import Baseline
+
+        (tree / "mod.py").write_text(ONE_FINDING)
+        linter, result = run_linter(tree)
+        baseline = Baseline.from_findings(result.findings)
+        linter, result = run_linter(tree, baseline=baseline)
+        assert not result.findings and result.baselined
+        log = to_sarif(result, linter.rules)
+        validate(log)
+        (res,) = log["runs"][0]["results"]
+        assert res["baselineState"] == "unchanged"
+
+
+class TestCliIntegration:
+    def test_format_sarif_exit_codes(self, tree, capsys):
+        (tree / "mod.py").write_text(ONE_FINDING)
+        assert main(["lint", str(tree), "--format", "sarif"]) == 1
+        log = json.loads(capsys.readouterr().out)
+        validate(log)
+        assert log["runs"][0]["results"][0]["ruleId"] == "REP001"
+
+    def test_format_sarif_clean(self, tree, capsys):
+        (tree / "mod.py").write_text("x = 1\n")
+        assert main(["lint", str(tree), "--format", "sarif"]) == 0
+        validate(json.loads(capsys.readouterr().out))
+
+    def test_jobs_flag_matches_serial_output(self, tree, capsys):
+        for i in range(4):
+            (tree / f"mod{i}.py").write_text(ONE_FINDING)
+        assert main(["lint", str(tree), "--format", "json"]) == 1
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["lint", str(tree), "--format", "json", "--jobs", "2"]) == 1
+        parallel = json.loads(capsys.readouterr().out)
+        assert serial["findings"] == parallel["findings"]
+        assert len(parallel["findings"]) == 4
+
+    def test_summary_store_caches_and_is_reused(self, tree, tmp_path, capsys):
+        (tree / "mod.py").write_text(
+            "def expand(table, count):\n"
+            "    return table[count]\n"
+            "def decode(reader, table):\n"
+            "    n = reader.read(7)\n"
+            "    return expand(table, n)\n"
+        )
+        store = tmp_path / "summaries.json"
+        args = ["lint", str(tree), "--select", "REP015",
+                "--summary-store", str(store)]
+        assert main(args) == 1
+        capsys.readouterr()
+        payload = json.loads(store.read_text())
+        assert payload["project_hash"]
+        before = store.read_text()
+        assert main(args) == 1  # warm run: same findings from cached summaries
+        capsys.readouterr()
+        assert store.read_text() == before
+
+    def test_explain_interprocedural_rules(self, capsys):
+        for rule_id, marker in [
+            ("REP014", "bit"),
+            ("REP015", "taint"),
+            ("REP016", "executor"),
+            ("REP017", "budget"),
+        ]:
+            assert main(["lint", "--explain", rule_id]) == 0
+            out = capsys.readouterr().out
+            assert rule_id in out
+            assert marker in out.lower()
+            assert "suppress with" in out
