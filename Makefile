@@ -21,7 +21,8 @@ fuzz:
 fuzz-quick:
 	PYTHONPATH=src python -m repro fuzz --seeds 3
 
-# AST + dataflow + interprocedural invariant checker (REP001-REP017,
+# AST + dataflow + interprocedural + interval invariant checker
+# (REP001-REP021, REP017 retired into REP020;
 # docs/STATIC_ANALYSIS.md).  Exit 0 clean / 1 findings / 2 internal
 # error; the shipped baseline is empty, so any finding is a regression.
 # The per-module rule phase fans out over 2 worker processes; the

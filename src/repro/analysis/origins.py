@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.marker import MARKER_BASE
+from repro.deflate.constants import WINDOW_SIZE
 from repro.data.fastq import CHAR_TYPES, classify_fastq_bytes
 
 __all__ = ["OriginSeries", "origin_counts_by_type", "context_types_for_offset"]
@@ -58,16 +59,16 @@ def context_types_for_offset(text: bytes, output_offset: int) -> np.ndarray:
     ``text[output_offset - 32768 : output_offset]``.  Position ``j`` of
     the returned array aligns with marker ``U_j``.
     """
-    if output_offset < 32768:
+    if output_offset < WINDOW_SIZE:
         raise ValueError("need at least 32 KiB of preceding text")
     types = classify_fastq_bytes(text[: output_offset])
-    return types[output_offset - 32768 : output_offset]
+    return types[output_offset - WINDOW_SIZE : output_offset]
 
 
 def origin_counts_by_type(
     symbols: np.ndarray,
     context_types: np.ndarray,
-    window_size: int = 32768,
+    window_size: int = WINDOW_SIZE,
 ) -> OriginSeries:
     """Count surviving initial-context characters per window and type.
 
@@ -84,8 +85,10 @@ def origin_counts_by_type(
     """
     symbols = np.asarray(symbols, dtype=np.int32)
     context_types = np.asarray(context_types, dtype=np.uint8)
-    if context_types.shape != (32768,):
-        raise ValueError("context_types must have exactly 32768 entries")
+    if context_types.shape != (WINDOW_SIZE,):
+        raise ValueError(
+            f"context_types must have exactly {WINDOW_SIZE} entries"
+        )
 
     n_windows = max(1, -(-len(symbols) // window_size))
     counts = np.zeros((n_windows, len(TYPE_ORDER)), dtype=np.int64)

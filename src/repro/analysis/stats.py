@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.deflate.constants import WINDOW_SIZE
 from repro.deflate.inflate import inflate
 from repro.deflate.tokens import TokenStats, TokenStream
 
@@ -57,7 +58,7 @@ def payload_token_stats(payload, start_bit: int = 0, skip_blocks: int = 0) -> St
         # Rebuild a token stream for the tail by re-decoding from the
         # block boundary with the accumulated window.
         boundary = result.blocks[skip_blocks]
-        window = result.data[: boundary.out_start][-32768:]
+        window = result.data[: boundary.out_start][-WINDOW_SIZE:]
         tail = inflate(
             payload,
             start_bit=boundary.start_bit,
@@ -68,7 +69,7 @@ def payload_token_stats(payload, start_bit: int = 0, skip_blocks: int = 0) -> St
     return StreamStats(stats=tokens.stats(), tokens=tokens)
 
 
-def offset_histogram(tokens: TokenStream, bins: int = 32, max_offset: int = 32768) -> tuple[np.ndarray, np.ndarray]:
+def offset_histogram(tokens: TokenStream, bins: int = 32, max_offset: int = WINDOW_SIZE) -> tuple[np.ndarray, np.ndarray]:
     """Histogram of match offsets: ``(counts, bin_edges)``."""
     offsets = tokens.offsets()
     offsets = offsets[offsets > 0]
@@ -84,7 +85,7 @@ def literal_positions(tokens: TokenStream) -> np.ndarray:
     return starts[offsets == 0]
 
 
-def literal_rate_by_window(tokens: TokenStream, window: int = 32768) -> np.ndarray:
+def literal_rate_by_window(tokens: TokenStream, window: int = WINDOW_SIZE) -> np.ndarray:
     """Fraction of literal bytes in consecutive output windows."""
     offsets = tokens.offsets()
     values = tokens.values()

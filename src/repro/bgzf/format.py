@@ -18,6 +18,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
+from repro.deflate.constants import GZIP_MAGIC
 from repro.deflate.crc32 import crc32
 from repro.deflate.deflate import deflate_compress
 from repro.deflate.inflate import inflate
@@ -93,7 +94,7 @@ def _block_bytes(chunk: bytes, level: int) -> bytes:
         if bsize > 65536:
             raise GzipFormatError("chunk does not fit a BGZF block even stored", stage="bgzf")
     header = (
-        b"\x1f\x8b\x08\x04"          # magic, deflate, FEXTRA
+        GZIP_MAGIC + b"\x08\x04"    # magic, deflate, FEXTRA
         + b"\x00\x00\x00\x00"        # mtime
         + b"\x00\xff"                # XFL, OS
         + b"\x06\x00"                # XLEN = 6
@@ -117,7 +118,7 @@ def bgzf_compress(data: bytes, level: int = 6, block_input: int = MAX_BLOCK_INPU
 
 def _parse_bsize(data: bytes, offset: int) -> int:
     """Read the BC extra field of the member at ``offset``; returns csize."""
-    if data[offset : offset + 4] != b"\x1f\x8b\x08\x04":
+    if data[offset : offset + 4] != GZIP_MAGIC + b"\x08\x04":
         raise GzipFormatError(f"not a BGZF member at offset {offset}", stage="bgzf")
     xlen = struct.unpack_from("<H", data, offset + 10)[0]
     pos = offset + 12

@@ -300,7 +300,7 @@ def _cmd_fuzz(args) -> int:
 
 def _cmd_lint(args) -> int:
     from repro.lint import run_lint
-    from repro.lint.runner import explain_rule
+    from repro.lint.runner import explain_rule, prove_pragmas
 
     if args.explain:
         return explain_rule(args.explain)
@@ -308,6 +308,8 @@ def _cmd_lint(args) -> int:
         print("repro lint: no paths given (or use --explain REPxxx)",
               file=sys.stderr)
         return 2
+    if args.prove_pragmas:
+        return prove_pragmas(args.paths, summary_store=args.summary_store)
     return run_lint(
         args.paths,
         fmt=args.format,
@@ -472,7 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lnt = sub.add_parser(
         "lint",
-        help="AST + dataflow invariant checker (REP001-REP017)",
+        help="AST + dataflow invariant checker (REP001-REP021)",
         description="Enforce the codebase's decode-safety, error-context "
                     "and parallelism contracts, plus flow-sensitive "
                     "bit/byte-unit and taint rules and interprocedural "
@@ -501,6 +503,10 @@ def build_parser() -> argparse.ArgumentParser:
     lnt.add_argument("--explain", metavar="REPxxx", default=None,
                      help="print one rule's doc, example violation and "
                           "pragma slug, then exit")
+    lnt.add_argument("--prove-pragmas", action="store_true",
+                     help="report which allow-unbudgeted-alloc pragmas the "
+                          "interval engine discharges (proved spec-constant "
+                          "size bounds), then exit 0")
     lnt.set_defaults(func=_cmd_lint)
 
     b = sub.add_parser("bgzf", help="blocked gzip (BGZF) operations (ref [12])")

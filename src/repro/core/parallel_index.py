@@ -13,6 +13,7 @@ This module glues :mod:`repro.core.pugz` to :mod:`repro.index`.
 from __future__ import annotations
 
 from repro.core.pugz import PugzReport, pugz_decompress
+from repro.deflate.constants import WINDOW_SIZE
 from repro.deflate.gzipfmt import parse_gzip_header
 from repro.errors import ReproError
 from repro.index.zran import Checkpoint, GzipIndex
@@ -55,7 +56,7 @@ def pugz_build_index(
             Checkpoint(
                 bit_offset=chunk.start_bit,
                 uoffset=uoffset,
-                window=out[max(0, uoffset - 32768) : uoffset],
+                window=out[max(0, uoffset - WINDOW_SIZE) : uoffset],
             )
         )
         uoffset += size

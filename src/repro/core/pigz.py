@@ -22,6 +22,7 @@ no index, no member boundaries, back-references across chunk joints.
 
 from __future__ import annotations
 
+from repro.deflate.constants import WINDOW_SIZE
 from repro.deflate.crc32 import crc32, crc32_combine
 from repro.deflate.deflate import compress_tokens
 from repro.deflate.gzipfmt import gzip_wrap
@@ -75,7 +76,7 @@ def pigz_compress(
     starts = list(range(0, n, chunk_size)) or [0]
     for k, start in enumerate(starts):
         chunk = data[start : start + chunk_size]
-        dictionary = data[max(0, start - 32768) : start]
+        dictionary = data[max(0, start - WINDOW_SIZE) : start]
         jobs.append((k, chunk, dictionary, level, k == len(starts) - 1))
 
     results = executor.map(_compress_chunk, jobs)

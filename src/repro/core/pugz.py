@@ -223,8 +223,8 @@ def _undetermined_window_array() -> np.ndarray:
 
 def _seed_window_array(tail: bytes) -> list[int]:
     """Right-align ``tail`` in a 32 KiB window, marker-padding the left."""
-    vals = list(tail[-32768:])
-    missing = 32768 - len(vals)
+    vals = list(tail[-WINDOW_SIZE:])
+    missing = WINDOW_SIZE - len(vals)
     if missing:
         vals = list(range(marker.MARKER_BASE, marker.MARKER_BASE + missing)) + vals
     return vals
@@ -248,7 +248,7 @@ def _pass1_chunk(args) -> tuple[int, np.ndarray, np.ndarray, int, bool, int]:
             )
             symbols = np.frombuffer(result.data, dtype=np.uint8).astype(np.int32)
             window_syms = np.asarray(
-                _seed_window_array(result.data[-32768:]), dtype=np.int32
+                _seed_window_array(result.data[-WINDOW_SIZE:]), dtype=np.int32
             )
             return 0, symbols, window_syms, result.end_bit, result.final_seen, len(result.blocks)
         result = marker_inflate(

@@ -23,7 +23,7 @@ from repro.core.marker import MARKER_BASE, to_bytes
 from repro.core.marker_inflate import marker_inflate
 from repro.core.sequences import ExtractedSequence, extract_sequences
 from repro.core.sync import find_block_start
-from repro.deflate.constants import ASCII_MASK
+from repro.deflate.constants import ASCII_MASK, WINDOW_SIZE
 from repro.deflate.gzipfmt import parse_gzip_header
 from repro.deflate.inflate import inflate
 from repro.errors import DeflateError, SyncError
@@ -128,7 +128,7 @@ def _clean_decode(gz_data: bytes, start_bit: int, validator=None) -> tuple[bytes
         if validator is not None and not validator(window, result.data):
             return bytes(head), bit, False
         head += result.data
-        window = (window + result.data)[-32768:]
+        window = (window + result.data)[-WINDOW_SIZE:]
         bit = result.end_bit
         if result.final_seen:
             return bytes(head), bit, True

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.marker import MARKER_BASE
+from repro.deflate.constants import WINDOW_SIZE
 
 __all__ = ["ExtractedSequence", "extract_sequences", "classify_symbols"]
 
@@ -36,7 +37,7 @@ _CLS_NL = ord("T")
 
 
 def _build_class_table() -> np.ndarray:
-    table = np.full(MARKER_BASE + 32768, _CLS_OTHER, dtype=np.uint8)
+    table = np.full(MARKER_BASE + WINDOW_SIZE, _CLS_OTHER, dtype=np.uint8)
     for b in b"ACGTN":
         table[b] = _CLS_D
     table[ord("\n")] = _CLS_NL

@@ -19,6 +19,8 @@ import math
 
 import numpy as np
 
+from repro.deflate.constants import WINDOW_SIZE
+
 __all__ = ["entropy_bits_per_char", "is_random_like", "window_entropies"]
 
 
@@ -67,7 +69,7 @@ def is_random_like(data: bytes, threshold: float = 2.1, order: int = 2) -> bool:
     return entropy_bits_per_char(data, order) >= threshold
 
 
-def window_entropies(data: bytes, window: int = 32768, order: int = 2) -> np.ndarray:
+def window_entropies(data: bytes, window: int = WINDOW_SIZE, order: int = 2) -> np.ndarray:
     """bits/char of each non-overlapping ``window``-byte slice."""
     out = []
     for start in range(0, len(data), window):

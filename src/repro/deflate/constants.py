@@ -22,6 +22,9 @@ MIN_MATCH = 3
 #: Longest match DEFLATE can encode.
 MAX_MATCH = 258
 
+#: The two-byte gzip member magic (RFC 1952): ``\\x1f\\x8b``.
+GZIP_MAGIC = b"\x1f\x8b"
+
 # ---------------------------------------------------------------------------
 # Block types (2-bit BTYPE field)
 # ---------------------------------------------------------------------------
@@ -46,6 +49,12 @@ MAX_USED_LITLEN = 285
 #: Number of distance symbols (codes 30/31 are invalid in a stream).
 NUM_DIST_SYMBOLS = 32
 MAX_USED_DIST = 29
+
+#: Dynamic-header caps (RFC 1951 section 3.2.7): HLIT encodes
+#: ``hlit - 257`` in 5 bits but only values up to 286 are legal, and
+#: HDIST likewise tops out at 30 usable codes.
+MAX_HLIT = 286
+MAX_HDIST = 30
 
 #: Maximum Huffman code length for litlen/dist alphabets.
 MAX_CODE_BITS = 15

@@ -13,6 +13,7 @@ import struct
 from dataclasses import dataclass
 
 from repro.deflate.adler import adler32
+from repro.deflate.constants import GZIP_MAGIC as _GZIP_MAGIC
 from repro.deflate.crc32 import crc32
 from repro.deflate.inflate import InflateResult, inflate
 from repro.errors import GzipFormatError
@@ -29,7 +30,6 @@ __all__ = [
     "zlib_unwrap",
 ]
 
-_GZIP_MAGIC = b"\x1f\x8b"
 _CM_DEFLATE = 8
 
 FTEXT = 1

@@ -18,6 +18,7 @@ from __future__ import annotations
 from functools import lru_cache
 
 from repro.deflate.bitio import BitReader, reverse_bits
+from repro.deflate.constants import MAX_CODE_BITS
 from repro.errors import HuffmanError
 
 #: Shared undecodable-window entry (``length == 0``).
@@ -43,6 +44,10 @@ def kraft_sum(lengths) -> int:
     if not nonzero:
         return 0, 0
     max_bits = max(nonzero)
+    if max_bits > MAX_CODE_BITS:
+        raise HuffmanError(
+            f"code length {max_bits} exceeds the DEFLATE cap", stage="huffman"
+        )
     return sum(1 << (max_bits - l) for l in nonzero), max_bits
 
 
@@ -60,6 +65,10 @@ def canonical_codes(lengths) -> list[int]:
     max_bits = max(lengths)
     if max_bits == 0:
         return [0] * len(lengths)
+    if max_bits > MAX_CODE_BITS:
+        raise HuffmanError(
+            f"code length {max_bits} exceeds the DEFLATE cap", stage="huffman"
+        )
 
     bl_count = [0] * (max_bits + 1)
     for l in lengths:
@@ -117,6 +126,11 @@ class HuffmanDecoder:
             raise HuffmanError("no symbols in code", stage="huffman")
         self.num_symbols = len(nonzero)
         max_bits = max(nonzero)
+        if max_bits > MAX_CODE_BITS:
+            raise HuffmanError(
+                f"code length {max_bits} exceeds the DEFLATE cap",
+                stage="huffman",
+            )
         self.max_bits = max_bits
 
         ksum, _ = kraft_sum(lengths)
@@ -133,9 +147,13 @@ class HuffmanDecoder:
         for sym, l in enumerate(lengths):
             if l == 0:
                 continue
+            # Every nonzero length is <= max_bits by construction; the
+            # clamp states that invariant where the interval engine can
+            # see it, so the fill below has a proved <= WINDOW_SIZE bound.
+            l = min(l, max_bits)
             rev = reverse_bits(codes[sym], l)
             step = 1 << l
-            table[rev::step] = [(l, sym)] * (size >> l)  # lint: allow-unbudgeted-alloc(size is 1 << max_bits <= 32768, fixed by the DEFLATE spec, not stream-controlled)
+            table[rev::step] = [(l, sym)] * (size >> l)
         self.table = table
 
     def decode(self, reader: BitReader) -> int:

@@ -110,16 +110,16 @@ def _read_dynamic_tables(reader: BitReader, strict: bool) -> tuple[HuffmanDecode
     hlit = reader.read(5) + 257
     hdist = reader.read(5) + 1
     hclen = reader.read(4) + 4
-    if hlit > 286:
+    if hlit > C.MAX_HLIT:
         raise BlockHeaderError(
-            f"HLIT {hlit} exceeds 286",
+            f"HLIT {hlit} exceeds {C.MAX_HLIT}",
             bit_offset=reader.tell_bits(), stage="header",
         )
-    if hdist > 30:
+    if hdist > C.MAX_HDIST:
         # Codes 30/31 can never appear in a valid stream; a header that
         # declares them is rejected (helps probing fail fast).
         raise BlockHeaderError(
-            f"HDIST {hdist} exceeds 30",
+            f"HDIST {hdist} exceeds {C.MAX_HDIST}",
             bit_offset=reader.tell_bits(), stage="header",
         )
 
@@ -520,11 +520,14 @@ def _decode_huffman_block(
             # Strict mode only: the reference reaches into the unknown
             # pre-block context.  Emit placeholder bytes ('?') — the
             # probe only validates structure, not content.
-            unknown = min(length, -pos)
-            out += b"?" * unknown  # lint: allow-unbudgeted-alloc(unknown <= length <= 258 per the DEFLATE length-code table)
+            # The extra MAX_MATCH clamp is a no-op (length <= 258 per the
+            # length-code table) stated where the interval engine can
+            # prove the allocation bound.
+            unknown = min(length, -pos, C.MAX_MATCH)
+            out += b"?" * unknown
             remaining = length - unknown
             for _ in range(remaining):
-                out.append(out[len(out) - distance])
+                out.append(out[-distance])
         if strict and len(out) - block_start > max_block:
             raise BlockSizeError(
                 "block exceeds 4 MiB probe limit",

@@ -66,8 +66,8 @@ LEVEL_CONFIGS: dict[int, LevelConfig] = {
     5: LevelConfig(8, 16, 32, 32, lazy=True),
     6: LevelConfig(8, 16, 128, 128, lazy=True),
     7: LevelConfig(8, 32, 128, 256, lazy=True),
-    8: LevelConfig(32, 128, 258, 1024, lazy=True),
-    9: LevelConfig(32, 258, 258, 4096, lazy=True),
+    8: LevelConfig(32, 128, C.MAX_MATCH, 1024, lazy=True),
+    9: LevelConfig(32, C.MAX_MATCH, C.MAX_MATCH, 4096, lazy=True),
 }
 
 

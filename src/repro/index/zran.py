@@ -17,6 +17,7 @@ import struct
 import zlib
 from dataclasses import dataclass
 
+from repro.deflate.constants import WINDOW_SIZE
 from repro.deflate.gzipfmt import parse_gzip_header
 from repro.deflate.inflate import inflate
 from repro.errors import GzipFormatError, IndexIntegrityError, RandomAccessError
@@ -167,7 +168,7 @@ def build_index(gz_data: bytes, span: int = 1 << 20) -> GzipIndex:
                 Checkpoint(
                     bit_offset=block.start_bit,
                     uoffset=block.out_start,
-                    window=data[max(0, block.out_start - 32768) : block.out_start],
+                    window=data[max(0, block.out_start - WINDOW_SIZE) : block.out_start],
                 )
             )
             next_target = block.out_start + span

@@ -12,8 +12,12 @@ module-level mutable state in fork-sensitive packages (REP007),
 the flow-sensitive unit/taint/marker analyses (REP009–REP011), pragma
 hygiene and bounded retries (REP012–REP013), and the interprocedural
 call-graph rules — cross-function unit confusion, cross-function decode
-taint, executor race/fork-safety, unbudgeted allocation (REP014–REP017,
-built on :mod:`repro.lint.callgraph` and :mod:`repro.lint.summaries`).
+taint, executor race/fork-safety (REP014–REP016) — plus the interval
+abstract interpretation layer (:mod:`repro.lint.intervals`): proved
+shift widths (REP018), proved index bounds (REP019), budget-or-proved
+allocations (REP020, superseding REP017) and spec-literal provenance
+(REP021), built on :mod:`repro.lint.callgraph` and
+:mod:`repro.lint.summaries`.
 
 Three front doors:
 

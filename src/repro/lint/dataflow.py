@@ -12,6 +12,17 @@ iteration to fixpoint terminates without widening — each variable can
 only climb its lattice a bounded number of times, and the join is
 monotone by contract.
 
+Analyses over *infinite-height* domains (the interval lattice of
+:mod:`repro.lint.intervals`) additionally implement ``widen_values``.
+When that hook is present, :func:`solve` applies widening on joins
+into loop heads (targets of DFS back edges), delayed by a couple of
+visits so short ladders settle exactly, and then runs a bounded
+narrowing phase: two synchronous decreasing sweeps recomputing every
+block's entry environment from its predecessors.  At a post-fixpoint
+``x`` the transfer ``F`` satisfies ``F(x) ⊑ x``, so each sweep shrinks
+the solution while staying above the least fixpoint — loop-exit bounds
+widened to a threshold narrow back to the exact branch condition.
+
 A variable missing from an environment means "no information"; joins
 pass ``None`` for the missing side and the analysis decides (for the
 bug-finding lattices here, information survives a join against a path
@@ -135,13 +146,76 @@ def replay_blocks(cfg: CFG, analysis: ForwardAnalysis, envs_in: dict[int, Env]):
             yield "test", block.test, env
 
 
+def _loop_heads(cfg: CFG) -> set[int]:
+    """Targets of back edges (iterative DFS): where widening applies."""
+    heads: set[int] = set()
+    color: dict[int, int] = {}  # 0/absent = white, 1 = on stack, 2 = done
+    stack: list[tuple[int, int]] = [(cfg.entry, 0)]
+    while stack:
+        bid, idx = stack.pop()
+        if idx == 0:
+            if color.get(bid) == 2:
+                continue
+            color[bid] = 1
+        succs = cfg.block(bid).succs
+        while idx < len(succs):
+            succ = succs[idx][0]
+            idx += 1
+            state = color.get(succ, 0)
+            if state == 1:
+                heads.add(succ)
+            elif state == 0:
+                stack.append((bid, idx))
+                stack.append((succ, 0))
+                break
+        else:
+            color[bid] = 2
+    return heads
+
+
+#: Joins into a loop head before widening kicks in — lets short
+#: constant ladders (``i = 0; i += 1`` once) settle exactly first.
+_WIDEN_DELAY = 2
+
+#: Cap on decreasing sweeps after the widened fixpoint.  Each sweep is
+#: sound on its own (see module docstring), so the count is a precision
+#: knob, not a correctness one; sweeps stop early once stable.  The cap
+#: covers the longest acyclic improvement chain of a realistic unit.
+_NARROW_PASSES = 8
+
+
+def _narrow_sweep(
+    cfg: CFG, analysis: ForwardAnalysis, envs_in: dict[int, Env]
+) -> dict[int, Env]:
+    """One synchronous decreasing sweep over the reached blocks."""
+    new_in: dict[int, Env] = {cfg.entry: analysis.initial_env()}
+    for block in cfg:
+        if block.bid not in envs_in:
+            continue  # unreached: nothing flows out of it
+        env_out = transfer_block(analysis, block, envs_in[block.bid])
+        for succ, label in block.succs:
+            edge_env = env_out
+            if block.test is not None and label in ("true", "false"):
+                edge_env = dict(env_out)
+                analysis.refine_edge(block.test, label, edge_env)
+            new_in[succ], _ = _join_envs(analysis, new_in.get(succ), edge_env)
+    return new_in
+
+
 def solve(cfg: CFG, analysis: ForwardAnalysis) -> dict[int, Env]:
     """Fixpoint: environment at *entry* of each block.
 
     Blocks never reached from the entry (dead code) keep an empty
     environment — rules still scan them for sinks, falling back to
     their name/annotation seeds.
+
+    Analyses exposing ``widen_values(old, new)`` get loop-head widening
+    plus a bounded narrowing phase; finite-lattice analyses are solved
+    exactly as before.
     """
+    widen = getattr(analysis, "widen_values", None)
+    heads = _loop_heads(cfg) if widen is not None else set()
+    visits: dict[int, int] = {}
     envs_in: dict[int, Env] = {cfg.entry: analysis.initial_env()}
     worklist: list[int] = [cfg.entry]
     iterations = 0
@@ -157,11 +231,25 @@ def solve(cfg: CFG, analysis: ForwardAnalysis) -> dict[int, Env]:
             if block.test is not None and label in ("true", "false"):
                 edge_env = dict(env_out)
                 analysis.refine_edge(block.test, label, edge_env)
-            joined, changed = _join_envs(analysis, envs_in.get(succ), edge_env)
+            old = envs_in.get(succ)
+            joined, changed = _join_envs(analysis, old, edge_env)
+            if changed and succ in heads and old is not None:
+                visits[succ] = visits.get(succ, 0) + 1
+                if visits[succ] >= _WIDEN_DELAY:
+                    for name, value in joined.items():
+                        if name in old:
+                            joined[name] = widen(old[name], value)
+                    changed = joined != old
             if changed:
                 envs_in[succ] = joined
                 if succ not in worklist:
                     worklist.append(succ)
+    if widen is not None:
+        for _ in range(_NARROW_PASSES):
+            narrowed = _narrow_sweep(cfg, analysis, envs_in)
+            if narrowed == envs_in:
+                break
+            envs_in = narrowed
     for bid in cfg.blocks:
         envs_in.setdefault(bid, {})
     return envs_in

@@ -30,6 +30,11 @@ class Finding:
     message: str
     hint: str = ""
     severity: str = "error"
+    #: Interval witness for the numeric rules (REP018–REP020): the
+    #: abstract value the engine computed for the offending expression,
+    #: e.g. ``"[0, 71]"``.  Excluded from the fingerprint — a precision
+    #: improvement should not invalidate a baseline entry.
+    witness: str = ""
 
     def fingerprint(self) -> str:
         """Line-insensitive identity used for baseline matching."""
@@ -42,12 +47,14 @@ class Finding:
     def format_text(self) -> str:
         loc = f"{self.path}:{self.line}:{self.col + 1}"
         out = f"{loc}: {self.rule_id} [{self.severity}] {self.message}"
+        if self.witness:
+            out += f"\n    interval: {self.witness}"
         if self.hint:
             out += f"\n    hint: {self.hint}"
         return out
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "rule": self.rule_id,
             "slug": self.slug,
             "path": self.path,
@@ -58,3 +65,6 @@ class Finding:
             "hint": self.hint,
             "fingerprint": self.fingerprint(),
         }
+        if self.witness:
+            out["interval"] = self.witness
+        return out

@@ -51,9 +51,19 @@ class Rule:
         raise NotImplementedError
 
     def finding(
-        self, module: ModuleInfo, node: ast.AST, message: str, hint: str = ""
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        message: str,
+        hint: str = "",
+        witness: str = "",
     ) -> Finding:
-        """Build a finding anchored at ``node``'s location."""
+        """Build a finding anchored at ``node``'s location.
+
+        ``witness`` carries the interval the engine computed for the
+        offending expression (numeric rules only); it surfaces in text
+        output and as ``properties.interval`` in SARIF.
+        """
         return Finding(
             rule_id=self.rule_id,
             slug=self.slug,
@@ -63,13 +73,14 @@ class Rule:
             message=message,
             hint=hint,
             severity=self.severity,
+            witness=witness,
         )
 
 
 class ProjectRule(Rule):
     """A rule that analyses the *whole project* at once.
 
-    The interprocedural rules (REP014–REP017) need the call graph and
+    The interprocedural rules (REP014–REP020) need the call graph and
     function summaries spanning every module of the run, so the engine
     calls :meth:`check_project` exactly once per run — after all files
     parse — instead of :meth:`check` per module.  Findings are still
@@ -86,10 +97,15 @@ class ProjectRule(Rule):
         raise NotImplementedError
 
     def finding_at(
-        self, module: ModuleInfo, node: ast.AST, message: str, hint: str = ""
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        message: str,
+        hint: str = "",
+        witness: str = "",
     ) -> Finding:
         """Alias of :meth:`Rule.finding`, kept for call-site clarity."""
-        return self.finding(module, node, message, hint)
+        return self.finding(module, node, message, hint, witness)
 
 
 _REGISTRY: dict[str, type[Rule]] = {}

@@ -5,18 +5,21 @@ decorator) is what :func:`repro.lint.registry.all_rules` relies on.
 """
 
 from repro.lint.rules.bounded_retry import BoundedRetryRule
-from repro.lint.rules.budget_alloc import UnbudgetedAllocRule
 from repro.lint.rules.context import ErrorContextRule
 from repro.lint.rules.defaults import MutableDefaultRule
 from repro.lint.rules.excepts import BroadExceptRule
 from repro.lint.rules.exec_safety import ExecSafetyRule
 from repro.lint.rules.exports import ExportSyncRule
+from repro.lint.rules.index_bounds import IndexBoundsRule
 from repro.lint.rules.marker_escape import MarkerEscapeRule
 from repro.lint.rules.masking import UnmaskedWidthRule
 from repro.lint.rules.modstate import ModuleStateRule
 from repro.lint.rules.pickle_safety import PickleSafetyRule
 from repro.lint.rules.pragma_reason import PragmaReasonRule
+from repro.lint.rules.proven_alloc import ProvenAllocRule
 from repro.lint.rules.randomness import UnseededRandomnessRule
+from repro.lint.rules.shift_width import ShiftWidthRule
+from repro.lint.rules.spec_literals import SpecLiteralRule
 from repro.lint.rules.unit_confusion import UnitConfusionRule
 from repro.lint.rules.unvalidated_decode import UnvalidatedDecodeRule
 from repro.lint.rules.xfunc_taint import CrossDecodeTaintRule
@@ -39,5 +42,8 @@ __all__ = [
     "CrossUnitConfusionRule",
     "CrossDecodeTaintRule",
     "ExecSafetyRule",
-    "UnbudgetedAllocRule",
+    "ShiftWidthRule",
+    "IndexBoundsRule",
+    "ProvenAllocRule",
+    "SpecLiteralRule",
 ]

@@ -1,0 +1,246 @@
+"""REP020 — in-loop allocations must be budget-dominated *or* carry a
+proved spec-constant size bound.
+
+The resource-budget layer (:mod:`repro.robustness.limits`) only
+protects the pipeline if the hot allocation sites actually consult it.
+An attacker-shaped gzip stream controls loop trip counts and buffer
+sizes, so an allocation with a *computed* size inside a loop —
+``bytes(n)``, ``bytearray(n)``, ``b"\\x00" * n`` — is an output-
+amplification sink unless either
+
+* a ``ResourceBudget.check_*`` call dominates it on every call path
+  (the REP017 discipline this rule supersedes), or
+* the interval engine proves the allocation's size is bounded by a
+  DEFLATE spec constant (``MAX_MATCH``, ``WINDOW_SIZE``, …) — a fixed
+  cost the budget does not need to meter.
+
+The second arm is the upgrade over REP017: it turns hand-written
+``allow-unbudgeted-alloc`` pragma prose ("size is at most 258 per the
+spec") into machine-checked facts, and ``repro lint --prove-pragmas``
+reports exactly which existing pragmas the prover can discharge so
+they can be deleted (see :func:`discharge_report`).
+
+The interprocedural view is unchanged from REP017: the budget check
+usually lives one or two frames *up*, so unproved, unchecked sites
+propagate through unguarded call edges and are reported only when they
+survive to an **entry point** (a function no project code calls, or a
+module top level).  Proved sites are dropped from that propagation —
+their cost is bounded no matter who calls them.
+
+Known imprecision, by design: a branch testing a ``budget``-named
+value (``if budget is not None:``) marks both arms checked — the
+``None`` arm is the caller explicitly opting out of limits, which is a
+policy choice, not a missing check.  And the prover is non-relational:
+an allocation bounded only by *another variable* (``pattern`` of
+length ``distance``) cannot be proved and still needs the budget or a
+pragma.
+
+Escape hatch: ``# lint: allow-unbudgeted-alloc(<reason>)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.callgraph import Project
+from repro.lint.findings import Finding
+from repro.lint.registry import ProjectRule, register
+from repro.lint.summaries import (
+    Site,
+    _call_resolver,
+    alloc_prover,
+    interval_context,
+    run_budget,
+)
+from repro.lint.intervals import run_intervals
+
+__all__ = ["ProvenAllocRule", "discharge_report", "format_discharge_report"]
+
+_HINT = (
+    "thread a ResourceBudget into the function and call "
+    "budget.check_block()/check_output() before (or inside) the loop, "
+    "clamp the size against a spec constant so the interval engine can "
+    "prove it (e.g. `min(n, C.MAX_MATCH)`), or perform the check in the "
+    "caller before handing control down"
+)
+
+
+def _module_budget(project: Project, summaries, ctx, module, body):
+    """Budget+prover pass for a module top level (not in the summaries)."""
+    resolve = _call_resolver(project, summaries, module, None, body)
+    module_env, resolve_interval = ctx(module, None, body)
+    run = run_intervals(
+        None, body, module_env=module_env, resolve_interval=resolve_interval
+    )
+    return run_budget(module, None, body, resolve, prover=alloc_prover(run))
+
+
+@register
+class ProvenAllocRule(ProjectRule):
+    rule_id = "REP020"
+    slug = "unbudgeted-alloc"
+    summary = (
+        "computed-size allocations in loops need a dominating "
+        "ResourceBudget check or a proved spec-constant size bound"
+    )
+    example_bad = (
+        "def _emit(window, length):\n"
+        "    out = bytearray()\n"
+        "    while length > 0:\n"
+        "        out += bytes(length)       # unbounded, unchecked\n"
+        "        length -= len(window)\n"
+        "    return out\n"
+        "\n"
+        "def inflate_block(reader, window, length):\n"
+        "    return _emit(window, length)\n"
+    )
+    example_good = (
+        "def _emit(window, length):\n"
+        "    out = bytearray()\n"
+        "    while length > 0:\n"
+        "        chunk = min(length, 258)   # proved <= MAX_MATCH\n"
+        "        out += bytes(chunk)\n"
+        "        length -= chunk\n"
+        "    return out\n"
+        "\n"
+        "def inflate_block(reader, window, length):\n"
+        "    return _emit(window, length)\n"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = project.call_graph()
+        summaries = project.summaries()
+        ctx = interval_context(project, summaries)
+        # Entry points: units no project code calls — counting only
+        # callers *outside* the unit's own SCC, so a recursive cluster
+        # nothing else invokes is still judged rather than skipped.
+        scc_of: dict[str, int] = {}
+        for i, scc in enumerate(project.scc_order()):
+            for member in scc:
+                scc_of[member] = i
+        exposed: list[Site] = []
+        for qualname, module, body, func in project.iter_units():
+            if func is None:
+                # Module top level: always an entry point; not covered
+                # by the summary table, so run the budget pass directly.
+                sites, _, _ = _module_budget(
+                    project, summaries, ctx, module, body
+                )
+                exposed.extend(sites)
+                continue
+            outside_callers = [
+                site for site in graph.callers_of(qualname)
+                if scc_of.get(site.caller) != scc_of.get(qualname)
+            ]
+            if outside_callers:
+                continue  # some project caller may guard it; judged there
+            summary = summaries.get(qualname)
+            if summary is not None:
+                exposed.extend(summary.unbudgeted_allocs)
+
+        seen: set[tuple[str, int, str]] = set()
+        for site in sorted(exposed, key=lambda s: (s.path, s.line, s.detail)):
+            key = (site.path, site.line, site.detail)
+            if key in seen:
+                continue
+            seen.add(key)
+            module = project.modules_by_relpath.get(site.path)
+            if module is None:
+                continue
+            anchor = ast.Pass(lineno=site.line, col_offset=0)
+            yield self.finding(
+                module,
+                anchor,
+                f"{site.detail} inside a loop with no dominating "
+                "ResourceBudget check and no proved spec-constant size "
+                "bound on any call path into it",
+                hint=_HINT,
+            )
+
+
+def discharge_report(project: Project) -> dict:
+    """What ``--prove-pragmas`` prints: pragma lines vs. proved sites.
+
+    Returns a dict with four sorted lists of ``(path, line, detail)``
+    tuples:
+
+    * ``discharged`` — an ``allow-unbudgeted-alloc`` pragma sits on a
+      line whose allocation the prover bounds: the pragma is redundant
+      and can be deleted (detail carries the interval witness);
+    * ``required`` — the pragma still suppresses a genuinely unproved
+      allocation;
+    * ``stale`` — the pragma's line has no in-loop computed-size
+      allocation at all;
+    * ``proved`` — every allocation site the prover bounded, pragma or
+      not (the standing evidence once discharged pragmas are removed).
+    """
+    summaries = project.summaries()
+    ctx = interval_context(project, summaries)
+    proved: list[Site] = []
+    unproved: list[Site] = []
+    for qualname, module, body, func in project.iter_units():
+        if func is None:
+            sites, proved_sites, _ = _module_budget(
+                project, summaries, ctx, module, body
+            )
+            proved.extend(proved_sites)
+            unproved.extend(sites)
+        else:
+            summary = summaries.get(qualname)
+            if summary is not None:
+                proved.extend(summary.proved_allocs)
+                unproved.extend(summary.unbudgeted_allocs)
+
+    proved_lines = {(s.path, s.line) for s in proved}
+    unproved_lines = {(s.path, s.line) for s in unproved}
+    discharged: list[tuple[str, int, str]] = []
+    required: list[tuple[str, int, str]] = []
+    stale: list[tuple[str, int, str]] = []
+    witness_at = {(s.path, s.line): s.detail for s in proved}
+    for module in project.modules.values():
+        if module.name.startswith("repro.lint"):
+            # The lint package documents pragma syntax in docstrings;
+            # the line-based scanner would misread those as live pragmas.
+            continue
+        for line, pragmas in sorted(module.pragmas.items()):
+            for pragma in pragmas:
+                if pragma.slug != "unbudgeted-alloc":
+                    continue
+                key = (module.relpath, line)
+                if key in proved_lines:
+                    discharged.append(
+                        (module.relpath, line, witness_at[key])
+                    )
+                elif key in unproved_lines:
+                    required.append(
+                        (module.relpath, line, pragma.reason)
+                    )
+                else:
+                    stale.append((
+                        module.relpath, line,
+                        "no in-loop computed-size allocation at this line",
+                    ))
+    return {
+        "discharged": sorted(set(discharged)),
+        "required": sorted(set(required)),
+        "stale": sorted(set(stale)),
+        "proved": sorted({(s.path, s.line, s.detail) for s in proved}),
+    }
+
+
+def format_discharge_report(report: dict) -> str:
+    """Human-readable rendering of :func:`discharge_report`."""
+    lines: list[str] = []
+    sections = (
+        ("discharged", "pragmas the interval engine DISCHARGES (delete them)"),
+        ("required", "pragmas still REQUIRED (allocation remains unproved)"),
+        ("stale", "pragmas that are STALE (no allocation at that line)"),
+        ("proved", "all proved allocation bounds"),
+    )
+    for key, title in sections:
+        entries = report.get(key, [])
+        lines.append(f"{title}: {len(entries)}")
+        for path, line, detail in entries:
+            lines.append(f"  {path}:{line}: {detail}")
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""REP018 — shift amounts in the bit-level hot paths must be provably
+bounded by the 64-bit word.
+
+The BitReader refill protocol packs up to 64 bits into a Python int
+and every consumer shifts against that word: ``chunk << bitcount``,
+``bitbuf >> nbits``, ``1 << max_bits``.  A shift amount that can
+exceed 64 is either a unit bug (byte count used as a bit count — the
+exact class REP009/REP014 chase) or an unbounded stream-controlled
+value, and Python will happily build a million-bit integer out of it.
+
+REP005 polices this *syntactically* (a mask must appear near the
+shift).  This rule replaces that heuristic with a semantic proof: the
+interval engine (:mod:`repro.lint.intervals`) evaluates every shift
+amount in ``bitio`` / ``crc32`` / ``huffman`` modules and requires a
+proved upper bound ≤ 64.  Amounts are evaluated *conditioned on
+normal completion* — a negative amount raises ``ValueError`` at the
+shift itself, so only the upper bound needs discharging to rule out
+silent blow-ups.
+
+The proof is interprocedural: callee return intervals come from the
+function summaries (``_hash3`` returning a masked ``[0, 32767]``
+proves its caller's shifts), and module-level constants plus the
+``deflate.constants`` spec values seed the environment.
+
+Escape hatch: ``# lint: allow-unproved-shift(<reason>)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.callgraph import Project
+from repro.lint.findings import Finding
+from repro.lint.intervals import (
+    Interval,
+    fmt_interval,
+    run_intervals,
+    walk_with_env,
+)
+from repro.lint.registry import ProjectRule, register
+from repro.lint.summaries import interval_context
+
+__all__ = ["ShiftWidthRule", "MAX_SHIFT"]
+
+#: The refill word: nothing in the bit-level layer may shift further.
+MAX_SHIFT = 64
+
+#: Modules under the shift-width obligation (basename match): the
+#: three files whose correctness the 64-bit refill protocol rests on.
+_SCOPE = frozenset({"bitio", "crc32", "huffman"})
+
+_HINT = (
+    "mask or clamp the amount (e.g. `n & 63`, `min(n, max_bits)`) so the "
+    "interval engine can bound it, or hoist the bound into a guard the "
+    "branch refinement sees (`if n > 64: raise`)"
+)
+
+
+def _in_scope(module_name: str) -> bool:
+    return module_name.rsplit(".", 1)[-1] in _SCOPE
+
+
+@register
+class ShiftWidthRule(ProjectRule):
+    rule_id = "REP018"
+    slug = "unproved-shift"
+    summary = (
+        "every shift amount in bitio/crc32/huffman must have a proved "
+        "upper bound <= 64 (the refill word width)"
+    )
+    example_bad = (
+        "def refill(bitbuf, bitcount, nbytes):\n"
+        "    # nbytes is a BYTE count: 8 * nbytes can reach way past 64\n"
+        "    return bitbuf | (0xFF << (8 * nbytes * nbytes))\n"
+    )
+    example_good = (
+        "def refill(bitbuf, bitcount, chunk):\n"
+        "    # bitcount is seeded [0, 64]; the amount is proved <= 64\n"
+        "    return bitbuf | (chunk << bitcount)\n"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        summaries = project.summaries()
+        ctx = interval_context(project, summaries)
+        for qualname, module, body, func in project.iter_units():
+            if not _in_scope(module.name):
+                continue
+            module_env, resolve_interval = ctx(module, func, body)
+            run = run_intervals(
+                func, body,
+                module_env=module_env, resolve_interval=resolve_interval,
+            )
+            for stmt, amount, env in _shift_amounts(run):
+                value = run.analysis.eval(amount, env)
+                iv = value if isinstance(value, Interval) else None
+                if iv is not None and not iv.is_empty and (
+                    iv.hi is not None and iv.hi <= MAX_SHIFT
+                ):
+                    continue
+                witness = fmt_interval(iv) if iv is not None else "unknown"
+                yield self.finding(
+                    module,
+                    amount,
+                    f"shift amount `{ast.unparse(amount)}` in {qualname} "
+                    f"has no proved bound <= {MAX_SHIFT} "
+                    f"(computed interval: {witness})",
+                    hint=_HINT,
+                    witness=witness,
+                )
+
+
+def _shift_amounts(run):
+    """Yield ``(stmt, amount_expr, env)`` for every shift in the unit."""
+    from repro.lint.cfg import stmt_expressions
+
+    for kind, node, env in run.replay():
+        if kind == "stmt":
+            if isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.LShift, ast.RShift)
+            ):
+                yield node, node.value, env
+            exprs = stmt_expressions(node)
+        else:
+            exprs = [node]
+        for expr in exprs:
+            for sub, sub_env in walk_with_env(run.analysis, expr, env):
+                if isinstance(sub, ast.BinOp) and isinstance(
+                    sub.op, (ast.LShift, ast.RShift)
+                ):
+                    yield node, sub.right, sub_env

@@ -1,0 +1,160 @@
+"""REP021 — DEFLATE/gzip spec magic numbers must come from
+``deflate/constants.py``.
+
+The spec constants — 258 (max match), 32768 (window), 286/30 (litlen/
+dist alphabet caps), 15 (max code bits), 32 (distance alphabet),
+``1f 8b`` (the gzip magic) — are load-bearing in a dozen modules, and a
+bare literal is how they drift: PR 5's peek(57) bug was exactly a magic
+number nobody could cross-check.  Every such literal outside
+:mod:`repro.deflate.constants` is a finding pointing at the named
+constant to use instead.
+
+Two tiers keep the noise down:
+
+* **distinctive** values (258, 32768, the ``0x1f8b``/``0x8b1f`` magic,
+  ``b"\\x1f\\x8b"``-prefixed byte literals) are flagged anywhere they
+  appear — they have no plausible second meaning in this codebase;
+* **ambiguous** values (286, 30, 15, 32) are flagged only in
+  comparisons against spec-shaped names (``hlit``, ``hdist``,
+  ``hclen``, ``max_bits``, code-length variables), where they are
+  certainly the spec bound and not a loop count.
+
+The lint package itself is exempt (rules and the interval engine
+legitimately talk about the numbers they prove things against), as is
+``deflate/constants.py`` — the single place the literals belong.
+
+Escape hatch: ``# lint: allow-magic-spec-literal(<reason>)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.module import ModuleInfo
+from repro.lint.registry import Rule, register
+
+__all__ = ["SpecLiteralRule"]
+
+#: value -> the constant that must replace it (flagged anywhere).
+_DISTINCTIVE = {
+    258: "repro.deflate.constants.MAX_MATCH",
+    32768: "repro.deflate.constants.WINDOW_SIZE",
+    0x1F8B: "repro.deflate.constants.GZIP_MAGIC (0x1f8b)",
+    0x8B1F: "repro.deflate.constants.GZIP_MAGIC (byte-swapped 0x8b1f)",
+}
+
+#: value -> constant, flagged only in spec-shaped comparisons.
+_AMBIGUOUS = {
+    286: "repro.deflate.constants.MAX_HLIT",
+    30: "repro.deflate.constants.MAX_HDIST",
+    15: "repro.deflate.constants.MAX_CODE_BITS",
+    32: "repro.deflate.constants.NUM_DIST_SYMBOLS",
+}
+
+#: Name fragments marking a comparison as spec-shaped.
+_SPEC_TOKENS = ("hlit", "hdist", "hclen", "max_bits", "code_len", "codelen")
+
+_GZIP_MAGIC = b"\x1f\x8b"
+
+#: Modules where the literals are definitions or proof machinery.
+_EXEMPT_EXACT = frozenset({"repro.deflate.constants"})
+_EXEMPT_PREFIX = ("repro.lint",)
+
+_HINT = (
+    "import the named constant from repro.deflate.constants (alias "
+    "`from repro.deflate import constants as C` is the repo idiom) so "
+    "the value has one definition the analyzers and readers can trust"
+)
+
+
+def _mentions_spec_token(nodes: list[ast.expr]) -> bool:
+    for node in nodes:
+        for sub in ast.walk(node):
+            name = ""
+            if isinstance(sub, ast.Name):
+                name = sub.id
+            elif isinstance(sub, ast.Attribute):
+                name = sub.attr
+            if name and any(tok in name.lower() for tok in _SPEC_TOKENS):
+                return True
+    return False
+
+
+@register
+class SpecLiteralRule(Rule):
+    rule_id = "REP021"
+    slug = "magic-spec-literal"
+    summary = (
+        "DEFLATE/gzip magic numbers (258, 32768, 0x1f8b, spec caps) "
+        "outside deflate/constants.py must use the named constant"
+    )
+    example_bad = (
+        "def check_header(hlit, data):\n"
+        "    if hlit > 286:\n"
+        "        raise ValueError('bad hlit')\n"
+        "    if data[:2] != b'\\x1f\\x8b':\n"
+        "        raise ValueError('not gzip')\n"
+        "    return 32768\n"
+    )
+    example_good = (
+        "from repro.deflate import constants as C\n"
+        "\n"
+        "def check_header(hlit, data):\n"
+        "    if hlit > C.MAX_HLIT:\n"
+        "        raise ValueError('bad hlit')\n"
+        "    if data[:2] != C.GZIP_MAGIC:\n"
+        "        raise ValueError('not gzip')\n"
+        "    return C.WINDOW_SIZE\n"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        if module.name in _EXEMPT_EXACT or module.name.startswith(
+            _EXEMPT_PREFIX
+        ):
+            return
+        ambiguous_ok: set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Compare):
+                sides = [node.left, *node.comparators]
+                if _mentions_spec_token(sides):
+                    for side in sides:
+                        if (
+                            isinstance(side, ast.Constant)
+                            and isinstance(side.value, int)
+                            and not isinstance(side.value, bool)
+                            and side.value in _AMBIGUOUS
+                        ):
+                            ambiguous_ok.add(id(side))
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            value = node.value
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, int):
+                if value in _DISTINCTIVE:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"magic spec literal {value}: use "
+                        f"{_DISTINCTIVE[value]}",
+                        hint=_HINT,
+                    )
+                elif value in _AMBIGUOUS and id(node) in ambiguous_ok:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"magic spec literal {value} in a spec-bound "
+                        f"comparison: use {_AMBIGUOUS[value]}",
+                        hint=_HINT,
+                    )
+            elif isinstance(value, bytes) and value[:2] == _GZIP_MAGIC:
+                yield self.finding(
+                    module,
+                    node,
+                    "gzip magic bytes literal: build it from "
+                    "repro.deflate.constants.GZIP_MAGIC",
+                    hint=_HINT,
+                )

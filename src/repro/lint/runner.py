@@ -22,7 +22,13 @@ from repro.lint.baseline import Baseline
 from repro.lint.engine import Linter, LintResult
 from repro.lint.registry import LintConfigError, resolve_rules
 
-__all__ = ["run_lint", "explain_rule", "format_text", "format_json"]
+__all__ = [
+    "run_lint",
+    "explain_rule",
+    "format_text",
+    "format_json",
+    "prove_pragmas",
+]
 
 
 def explain_rule(rule_id: str, out=None) -> int:
@@ -94,6 +100,56 @@ def format_json(result: LintResult) -> str:
         },
         indent=2,
     )
+
+
+def prove_pragmas(
+    paths: list[str],
+    *,
+    summary_store: str | None = None,
+    out=None,
+) -> int:
+    """``repro lint --prove-pragmas``: which pragmas the prover retires.
+
+    Parses the given paths, computes interval-backed summaries (through
+    the summary store when provided) and prints the REP020 discharge
+    report: ``allow-unbudgeted-alloc`` pragmas the interval engine
+    proves redundant, the ones still required, stale ones, and every
+    proved allocation bound.  Always exits 0 unless inputs fail to
+    parse — the report informs a cleanup, it does not gate.
+    """
+    out = out if out is not None else sys.stdout
+    from repro.lint.callgraph import Project
+    from repro.lint.engine import load_module
+    from repro.lint.rules.proven_alloc import (
+        discharge_report,
+        format_discharge_report,
+    )
+
+    modules = []
+    errors = []
+    for path in Linter.iter_python_files([Path(p) for p in paths]):
+        try:
+            modules.append(load_module(path, root=None))
+        except (SyntaxError, OSError, UnicodeDecodeError) as exc:
+            errors.append(f"{path}: {exc}")
+    if errors or not modules:
+        for err in errors:
+            print(f"repro lint: {err}", file=sys.stderr)
+        if not modules:
+            print("repro lint: no Python files found", file=sys.stderr)
+        return 2
+    project = Project(modules)
+    if summary_store is not None:
+        from repro.lint.summaries import SummaryStore
+
+        store = SummaryStore(Path(summary_store))
+        cached = store.load(project.source_hash())
+        if cached is not None:
+            project.set_summaries(cached)
+        else:
+            store.save(project.source_hash(), project.summaries())
+    print(format_discharge_report(discharge_report(project)), file=out)
+    return 0
 
 
 def _parse_rule_list(raw: str | None) -> list[str] | None:

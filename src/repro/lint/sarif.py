@@ -89,6 +89,10 @@ def _result(finding: Finding, rule_index: dict[str, int], state: str | None) -> 
         }],
         "partialFingerprints": {FINGERPRINT_KEY: finding.fingerprint()},
     }
+    if finding.witness:
+        # Interval witness of the numeric rules (REP018–REP020): the
+        # abstract value the engine proved/failed to bound.
+        result["properties"] = {"interval": finding.witness}
     if finding.rule_id in rule_index:
         result["ruleIndex"] = rule_index[finding.rule_id]
     if state is not None:

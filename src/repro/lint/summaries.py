@@ -1,12 +1,14 @@
 """Per-function summaries, computed bottom-up over call-graph SCCs.
 
 A :class:`FunctionSummary` is the interface a function exposes to its
-callers in the interprocedural rules (REP014–REP017): which parameters
-carry a definite bit/byte unit, what unit the return value has, which
-parameters flow — unsanitized — into a decode-taint sink, whether the
-function mutates module-level state, holds a non-reentrant lock across
-a call, or allocates inside a decode loop without a dominating
-:class:`~repro.robustness.limits.ResourceBudget` check.
+callers in the interprocedural rules (REP014–REP016, REP018–REP020):
+which parameters carry a definite bit/byte unit, what unit and numeric
+interval the return value has, which parameters flow — unsanitized —
+into a decode-taint sink, whether the function mutates module-level
+state, holds a non-reentrant lock across a call, or allocates inside a
+decode loop without a dominating
+:class:`~repro.robustness.limits.ResourceBudget` check or a proved
+spec-constant size bound.
 
 Summaries are computed in reverse-topological SCC order (callees before
 callers) with a worklist inside each SCC: every fact is monotone over a
@@ -50,6 +52,16 @@ from repro.lint.dataflow import (
     replay_blocks,
     solve,
 )
+from repro.lint.intervals import (
+    BytesVal,
+    Interval,
+    IntervalRun,
+    SeqVal,
+    fmt_interval,
+    module_constant_env,
+    run_intervals,
+    spec_cap_for,
+)
 from repro.lint.units import (
     Unit,
     UnitEvaluator,
@@ -69,6 +81,8 @@ __all__ = [
     "BudgetAnalysis",
     "FRESH",
     "unit_resolver",
+    "interval_context",
+    "alloc_prover",
 ]
 
 #: Taint label for a fresh, unvalidated BitReader decode value.
@@ -124,6 +138,15 @@ class FunctionSummary:
     raises_with_context: bool = False
     #: Resolved project callees (dedup'd, sorted).
     calls: tuple[str, ...] = ()
+    #: Interval of the return value, ``(lo, hi)`` with None = ±∞, or
+    #: ``None`` when the analysis makes no claim (propagated to callers
+    #: by the interval rules REP018–REP020).
+    return_interval: tuple | None = None
+    #: In-loop allocation sites whose size the interval engine proved
+    #: ≤ a spec constant (the witness lives in ``detail``); these are
+    #: *excluded* from ``unbudgeted_allocs`` and surfaced by
+    #: ``--prove-pragmas``.
+    proved_allocs: tuple[Site, ...] = ()
 
     # -- serialization (summary store + stability test) ----------------------
 
@@ -142,6 +165,11 @@ class FunctionSummary:
             "performs_budget_check": self.performs_budget_check,
             "raises_with_context": self.raises_with_context,
             "calls": sorted(self.calls),
+            "return_interval": (
+                None if self.return_interval is None
+                else list(self.return_interval)
+            ),
+            "proved_allocs": [s.to_dict() for s in self.proved_allocs],
         }
 
     @classmethod
@@ -160,6 +188,13 @@ class FunctionSummary:
             performs_budget_check=d["performs_budget_check"],
             raises_with_context=d["raises_with_context"],
             calls=tuple(d["calls"]),
+            return_interval=(
+                None if d.get("return_interval") is None
+                else tuple(d["return_interval"])
+            ),
+            proved_allocs=tuple(
+                Site.from_dict(s) for s in d.get("proved_allocs", ())
+            ),
         )
 
     def key_facts(self) -> tuple:
@@ -171,6 +206,8 @@ class FunctionSummary:
             self.returns_fresh_taint,
             frozenset(self.unbudgeted_allocs),
             self.performs_budget_check,
+            self.return_interval,
+            frozenset(self.proved_allocs),
         )
 
 
@@ -208,6 +245,72 @@ def unit_resolver(project: Project, summaries: dict[str, FunctionSummary]):
         return _call_resolver(project, summaries, module, caller, body)
 
     return for_unit
+
+
+def _interval_of_call(resolve):
+    """Wrap a ``(info, summary)`` resolver into a return-interval lookup."""
+
+    def resolve_interval(call: ast.Call) -> Interval | None:
+        hit = resolve(call)
+        if hit is None or hit[1].return_interval is None:
+            return None
+        lo, hi = hit[1].return_interval
+        return Interval(lo, hi)
+
+    return resolve_interval
+
+
+def interval_context(project: Project, summaries: dict[str, FunctionSummary]):
+    """Per-unit ``(module_env, resolve_interval)`` factory.
+
+    The interval rules (REP018/REP019) and the summary builder share
+    this so intraprocedural runs see the same module-level constant
+    bindings and the same summary-backed callee return intervals.
+    """
+    module_envs: dict[str, Env] = {}
+
+    def for_unit(module, func: ast.FunctionDef | None, body: list[ast.stmt]):
+        if module.name not in module_envs:
+            module_envs[module.name] = module_constant_env(module.tree)
+        caller = project.function_for_node(func) if func is not None else None
+        resolve = _call_resolver(project, summaries, module, caller, body)
+        return module_envs[module.name], _interval_of_call(resolve)
+
+    return for_unit
+
+
+def alloc_prover(irun: IntervalRun):
+    """Bind an interval run into REP020's allocation-size prover.
+
+    Returns ``prove(alloc_expr, stmt) -> witness | None``: the witness
+    string names the proved size interval and the tightest spec
+    constant dominating it.  ``stmt`` must be one of the AST statement
+    objects the run's CFG was built from — environments are keyed on
+    object identity, which :func:`run_budget` guarantees by building
+    its CFG from the same body.
+    """
+    envs: dict[int, Env] | None = None
+
+    def prove(alloc: ast.AST, stmt: ast.stmt) -> str | None:
+        nonlocal envs
+        if envs is None:
+            envs = irun.stmt_envs()
+        env = envs.get(id(stmt))
+        if env is None:
+            return None
+        value = irun.analysis.eval(alloc, env)
+        if not isinstance(value, (BytesVal, SeqVal)):
+            return None
+        length = value.length
+        if length.hi is None:
+            return None
+        cap = spec_cap_for(length.hi)
+        if cap is None:
+            return None
+        cap_name, cap_value = cap
+        return f"size ∈ {fmt_interval(length)} ≤ {cap_name} ({cap_value})"
+
+    return prove
 
 
 # ---------------------------------------------------------------------------
@@ -674,14 +777,22 @@ def _alloc_site(expr: ast.AST) -> str | None:
 
 
 def run_budget(
-    module, func: ast.FunctionDef | None, body: list[ast.stmt], resolve
-) -> tuple[list[Site], bool]:
-    """(exposed unbudgeted in-loop alloc sites, performs-check flag)."""
+    module, func: ast.FunctionDef | None, body: list[ast.stmt], resolve,
+    prover=None,
+) -> tuple[list[Site], list[Site], bool]:
+    """(unbudgeted in-loop alloc sites, proved sites, performs-check flag).
+
+    ``prover`` (from :func:`alloc_prover`) discharges an allocation
+    whose size interval is provably ≤ a spec constant: the site moves
+    to the *proved* list with its witness instead of propagating as
+    unbudgeted — the REP020 upgrade over the purely must-flag REP017.
+    """
     analysis = BudgetAnalysis(resolve)
     cfg = build_cfg(body)
     envs_in = solve(cfg, analysis)
     in_loop = _loop_stmt_ids(body)
     sites: list[Site] = []
+    proved: list[Site] = []
     seen: set[tuple[str, int, str]] = set()
     performs_check = False
     for kind, node, env in replay_blocks(cfg, analysis, envs_in):
@@ -697,10 +808,20 @@ def run_budget(
                 if id(node) in in_loop:
                     detail = _alloc_site(sub)
                     if detail is not None:
-                        site = Site(module.relpath, getattr(sub, "lineno", node.lineno), detail)
-                        if (site.path, site.line, site.detail) not in seen:
-                            seen.add((site.path, site.line, site.detail))
-                            sites.append(site)
+                        line = getattr(sub, "lineno", node.lineno)
+                        key = (module.relpath, line, detail)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        witness = (
+                            prover(sub, node) if prover is not None else None
+                        )
+                        if witness is not None:
+                            proved.append(Site(
+                                module.relpath, line, f"{detail}: {witness}"
+                            ))
+                        else:
+                            sites.append(Site(module.relpath, line, detail))
                 if isinstance(sub, ast.Call):
                     hit = resolve(sub)
                     if hit is not None:
@@ -709,7 +830,7 @@ def run_budget(
                             if key not in seen:
                                 seen.add(key)
                                 sites.append(inherited)
-    return sites, performs_check
+    return sites, proved, performs_check
 
 
 # ---------------------------------------------------------------------------
@@ -885,6 +1006,7 @@ def _summarize(
     info: FunctionInfo,
     summaries: dict[str, FunctionSummary],
     mutables_cache: dict[str, set[str]],
+    module_envs: dict[str, Env],
 ) -> FunctionSummary:
     module = info.module
     resolve = _call_resolver(project, summaries, module, info, info.node.body)
@@ -898,7 +1020,26 @@ def _summarize(
         sink_params |= event.labels & params
     through = {lbl for lbl in return_labels if lbl in params}
 
-    allocs, performs_check = run_budget(module, info.node, info.node.body, resolve)
+    # One interval solve per unit feeds both the return-interval fact
+    # and the allocation-size prover (REP020).
+    if module.name not in module_envs:
+        module_envs[module.name] = module_constant_env(module.tree)
+    irun = run_intervals(
+        info.node,
+        info.node.body,
+        module_env=module_envs[module.name],
+        resolve_interval=_interval_of_call(resolve),
+    )
+    ret_iv = irun.return_interval()
+    return_interval = None
+    if ret_iv is not None and not ret_iv.is_empty and (
+        ret_iv.lo is not None or ret_iv.hi is not None
+    ):
+        return_interval = (ret_iv.lo, ret_iv.hi)
+
+    allocs, proved, performs_check = run_budget(
+        module, info.node, info.node.body, resolve, prover=alloc_prover(irun)
+    )
 
     if module.name not in mutables_cache:
         mutables_cache[module.name] = _module_level_mutables(module)
@@ -921,6 +1062,8 @@ def _summarize(
         performs_budget_check=performs_check,
         raises_with_context=_raises_with_context(info),
         calls=calls,
+        return_interval=return_interval,
+        proved_allocs=tuple(proved),
     )
 
 
@@ -933,15 +1076,26 @@ def compute_summaries(project: Project) -> dict[str, FunctionSummary]:
     """
     summaries: dict[str, FunctionSummary] = {}
     mutables_cache: dict[str, set[str]] = {}
+    module_envs: dict[str, Env] = {}
+    graph = project.call_graph()
     for scc in project.scc_order():
         members = [q for q in sorted(scc) if q in project.functions]
         if not members:
             continue
-        for _round in range(_STABILIZE_LIMIT):
+        # A singleton SCC with no self-edge cannot refine its own facts
+        # by re-running — its callees are already final — so one round
+        # suffices (halves the cost of the common non-recursive case).
+        recursive = len(members) > 1 or any(
+            site.callee == members[0] for site in graph.callees_of(members[0])
+        )
+        rounds = _STABILIZE_LIMIT if recursive else 1
+        for _round in range(rounds):
             changed = False
             for qualname in members:
                 info = project.functions[qualname]
-                new = _summarize(project, info, summaries, mutables_cache)
+                new = _summarize(
+                    project, info, summaries, mutables_cache, module_envs
+                )
                 old = summaries.get(qualname)
                 if old is None or old.key_facts() != new.key_facts():
                     changed = True
@@ -964,7 +1118,9 @@ class SummaryStore:
     of truth.
     """
 
-    VERSION = 1
+    #: v2: summaries gained ``return_interval`` + ``proved_allocs``
+    #: (the interval domain); v1 caches are recomputed, not migrated.
+    VERSION = 2
 
     def __init__(self, path: Path) -> None:
         self.path = Path(path)

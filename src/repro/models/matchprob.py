@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import math
 
+from repro.deflate.constants import WINDOW_SIZE
+
 __all__ = [
     "match_probability",
     "match_probability_poisson",
@@ -25,7 +27,7 @@ __all__ = [
 ]
 
 
-def match_probability(k: int, W: int = 32768, alphabet: int = 4) -> float:
+def match_probability(k: int, W: int = WINDOW_SIZE, alphabet: int = 4) -> float:
     """Exact ``p_k``: probability of a length-``k`` match at one position."""
     if k < 0:
         raise ValueError("k must be non-negative")
@@ -35,7 +37,7 @@ def match_probability(k: int, W: int = 32768, alphabet: int = 4) -> float:
     return 1.0 - (1.0 - alphabet ** (-k)) ** positions
 
 
-def match_probability_poisson(k: int, W: int = 32768, alphabet: int = 4) -> float:
+def match_probability_poisson(k: int, W: int = WINDOW_SIZE, alphabet: int = 4) -> float:
     """Poisson approximation ``1 - exp(-alphabet^-k (W-k+1))``."""
     positions = W - k + 1
     if positions <= 0:
@@ -43,7 +45,7 @@ def match_probability_poisson(k: int, W: int = 32768, alphabet: int = 4) -> floa
     return 1.0 - math.exp(-(alphabet ** (-k)) * positions)
 
 
-def all_positions_match_probability(k: int, W: int = 32768, alphabet: int = 4) -> float:
+def all_positions_match_probability(k: int, W: int = WINDOW_SIZE, alphabet: int = 4) -> float:
     """Probability every position in the second block has a k-match."""
     positions = W - k + 1
     if positions <= 0:
@@ -51,7 +53,7 @@ def all_positions_match_probability(k: int, W: int = 32768, alphabet: int = 4) -
     return match_probability(k, W, alphabet) ** positions
 
 
-def log10_miss_probability(k: int, W: int = 32768, alphabet: int = 4) -> float:
+def log10_miss_probability(k: int, W: int = WINDOW_SIZE, alphabet: int = 4) -> float:
     """``log10(1 - p_k)`` computed in log space (p_k may be 1-1e-225).
 
     The paper quotes ``p_3 >= 1 - 10^-225`` for W = 2^15; this function

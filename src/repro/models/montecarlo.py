@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.deflate.constants import WINDOW_SIZE
+
 __all__ = ["simulate_match_probability", "simulate_literal_probability", "simulate_decay"]
 
 
@@ -26,7 +28,7 @@ def _pack_kmers(arr: np.ndarray, k: int) -> np.ndarray:
 
 def simulate_match_probability(
     k: int,
-    W: int = 32768,
+    W: int = WINDOW_SIZE,
     trials: int = 200,
     seed: int = 0,
 ) -> float:
@@ -49,7 +51,7 @@ def simulate_match_probability(
 
 
 def simulate_literal_probability(
-    W: int = 32768,
+    W: int = WINDOW_SIZE,
     trials: int = 400,
     max_k: int = 24,
     seed: int = 0,

@@ -22,6 +22,7 @@ of the propagation model in :mod:`repro.models.propagation`.
 
 from __future__ import annotations
 
+from repro.deflate.constants import WINDOW_SIZE
 from repro.models.matchprob import match_probability
 
 __all__ = [
@@ -36,7 +37,7 @@ __all__ = [
 PAPER_MEAN_MATCH_LENGTH = 7.6
 
 
-def literal_probability(W: int = 32768, alphabet: int = 4, max_k: int = 64) -> float:
+def literal_probability(W: int = WINDOW_SIZE, alphabet: int = 4, max_k: int = 64) -> float:
     """``p_l``: probability non-greedy parsing emits a literal here.
 
     The series converges extremely fast (p_k collapses to ~0 within a
@@ -51,7 +52,7 @@ def literal_probability(W: int = 32768, alphabet: int = 4, max_k: int = 64) -> f
 
 
 def expected_literals(
-    W: int = 32768,
+    W: int = WINDOW_SIZE,
     mean_match_length: float = PAPER_MEAN_MATCH_LENGTH,
     alphabet: int = 4,
 ) -> float:
@@ -60,7 +61,7 @@ def expected_literals(
 
 
 def literal_rate(
-    W: int = 32768,
+    W: int = WINDOW_SIZE,
     mean_match_length: float = PAPER_MEAN_MATCH_LENGTH,
     alphabet: int = 4,
 ) -> float:

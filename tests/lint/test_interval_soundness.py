@@ -1,0 +1,163 @@
+"""Property test: observed decode values ⊆ engine-proved intervals.
+
+The interval rules (REP018–REP020) are only worth trusting if the
+intervals themselves are sound.  This test closes the loop against the
+real decoder: run the abstract interpreter over the *actual*
+``_decode_huffman_block`` source, take the hulls it proves for the
+load-bearing names (``length``, ``distance``, ``sym``, ``nbits``), then
+decode the full 50-stream differential corpus with token capture and
+check every observed runtime value falls inside the proved hull.
+
+A failure here means the abstract semantics drifted from the concrete
+semantics — the worst possible lint bug, because every REP018/REP019/
+REP020 "proof" built on the drifting transfer function is vacuous.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from pathlib import Path
+
+import pytest
+
+from repro.deflate.inflate import inflate
+from repro.lint.intervals import (
+    Interval,
+    joined_name_intervals,
+    module_constant_env,
+    run_intervals,
+)
+from tests.deflate.test_differential_fuzz import (
+    SEEDS,
+    SHAPES,
+    compress_shape,
+    make_text,
+)
+
+pytestmark = pytest.mark.lint
+
+
+@pytest.fixture(scope="module")
+def proved_hulls():
+    """Interval hulls for the general decode loop, from its real source."""
+    source = Path(inspect.getsourcefile(inflate)).read_text()
+    tree = ast.parse(source)
+    func = next(
+        node for node in ast.walk(tree)
+        if isinstance(node, ast.FunctionDef)
+        and node.name == "_decode_huffman_block"
+    )
+    run = run_intervals(
+        func, func.body, module_env=module_constant_env(tree)
+    )
+    return joined_name_intervals(run)
+
+
+@pytest.fixture(scope="module")
+def observed():
+    """min/max of every decode quantity over the differential corpus."""
+    lengths, distances, literals = [], [], []
+    streams = 0
+
+    def decode_and_record(text, shape):
+        nonlocal streams
+        comp = compress_shape(text, shape)
+        result = inflate(comp, capture_tokens=True)
+        assert bytes(result.data) == text
+        offsets = result.tokens.offsets()
+        values = result.tokens.values()
+        matches = offsets > 0
+        if matches.any():
+            lengths.append((int(values[matches].min()),
+                            int(values[matches].max())))
+            distances.append((int(offsets[matches].min()),
+                              int(offsets[matches].max())))
+        lits = values[~matches]
+        if lits.size:
+            literals.append((int(lits.min()), int(lits.max())))
+        streams += 1
+
+    for seed in SEEDS:
+        text = make_text(seed, n=12_000)
+        for shape in SHAPES:
+            decode_and_record(text, shape)
+    assert streams == len(SEEDS) * len(SHAPES) >= 50
+    # One run-heavy stream so MAX_MATCH-length copies are exercised —
+    # DNA/FASTQ text alone rarely emits a full 258-byte match.
+    decode_and_record(b"A" * 8192 + b"CGT" * 2048, "dynamic_best")
+    assert lengths, "corpus produced no matches — not exercising the loop"
+    return {
+        "length": lengths,
+        "distance": distances,
+        "literal": literals,
+    }
+
+
+def _hull_of(pairs):
+    return min(lo for lo, _ in pairs), max(hi for _, hi in pairs)
+
+
+class TestProvedBoundsAreFinite:
+    """The engine must actually *claim* spec-shaped bounds — a TOP hull
+    would make the containment checks below vacuously true."""
+
+    def test_length_hull(self, proved_hulls):
+        iv = proved_hulls["length"]
+        assert iv.lo is not None and iv.lo >= 3
+        # lbase caps at 258; up to 5 extra bits may be added before the
+        # spec-level cap applies, so the sound hull tops out at 289.
+        assert iv.hi is not None and 258 <= iv.hi <= 289
+
+    def test_distance_hull(self, proved_hulls):
+        iv = proved_hulls["distance"]
+        assert iv.lo is not None and iv.lo >= 1
+        assert iv.hi == 32768
+
+    def test_symbol_hulls(self, proved_hulls):
+        assert proved_hulls["sym"].hi is not None
+        assert proved_hulls["sym"].hi <= 287
+        assert proved_hulls["nbits"].hi is not None
+        assert proved_hulls["nbits"].hi <= 15
+        # dsym's joined hull spans the pre-guard table load ([0, 287]);
+        # the MAX_USED_DIST refinement shows downstream, where the
+        # extra-bits lookup is bounded by the distance table's [0, 13].
+        assert proved_hulls["dsym"].hi is not None
+        assert proved_hulls["dsym"].hi <= 287
+        assert proved_hulls["dex"] == Interval(0, 13)
+
+    def test_strict_placeholder_hull(self, proved_hulls):
+        # The '?' fill in the unknown-context branch: proved <= MAX_MATCH.
+        assert proved_hulls["unknown"].hi == 258
+
+
+class TestObservedWithinProved:
+    """Every concrete value the decoder produced on the corpus must lie
+    inside the corresponding proved hull (soundness, checked on the
+    convex hull of observations — intervals are convex)."""
+
+    def test_match_lengths(self, proved_hulls, observed):
+        lo, hi = _hull_of(observed["length"])
+        assert proved_hulls["length"].contains(lo)
+        assert proved_hulls["length"].contains(hi)
+
+    def test_match_distances(self, proved_hulls, observed):
+        lo, hi = _hull_of(observed["distance"])
+        assert proved_hulls["distance"].contains(lo)
+        assert proved_hulls["distance"].contains(hi)
+
+    def test_literals_within_symbol_hull(self, proved_hulls, observed):
+        lo, hi = _hull_of(observed["literal"])
+        assert proved_hulls["sym"].contains(lo)
+        assert proved_hulls["sym"].contains(hi)
+        # Literals are additionally byte-valued by construction.
+        assert 0 <= lo <= hi <= 255
+
+    def test_observed_hulls_are_not_degenerate(self, observed):
+        # The corpus must genuinely exercise the match machinery: the
+        # run-heavy stream reaches MAX_MATCH-scale lengths and the
+        # FASTQ-like streams reach kilobyte match distances.
+        _lo, len_hi = _hull_of(observed["length"])
+        _dlo, dist_hi = _hull_of(observed["distance"])
+        assert len_hi >= 200
+        assert dist_hi >= 1024

@@ -546,8 +546,10 @@ def test_registry_is_complete():
     from repro.lint import all_rules
 
     ids = [cls.rule_id for cls in all_rules()]
-    assert ids == [f"REP{i:03d}" for i in range(1, 18)]
-    assert len({cls.slug for cls in all_rules()}) == 17
+    # REP017 was retired in favour of REP020 (same slug, stronger rule).
+    expected = [f"REP{i:03d}" for i in range(1, 22) if i != 17]
+    assert ids == expected
+    assert len({cls.slug for cls in all_rules()}) == len(expected)
     assert all(cls.summary for cls in all_rules())
 
 

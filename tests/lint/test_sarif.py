@@ -82,7 +82,10 @@ class TestSarifDocument:
         rules = log["runs"][0]["tool"]["driver"]["rules"]
         ids = [r["id"] for r in rules]
         assert ids == sorted(ids)
-        assert {"REP014", "REP015", "REP016", "REP017"} <= set(ids)
+        assert {
+            "REP014", "REP015", "REP016",
+            "REP018", "REP019", "REP020", "REP021",
+        } <= set(ids)
         by_id = {r["id"]: r for r in rules}
         assert by_id["REP016"]["properties"]["pragma"] == (
             "# lint: allow-exec-unsafe(<reason>)"
@@ -171,7 +174,10 @@ class TestCliIntegration:
             ("REP014", "bit"),
             ("REP015", "taint"),
             ("REP016", "executor"),
-            ("REP017", "budget"),
+            ("REP018", "shift"),
+            ("REP019", "index"),
+            ("REP020", "budget"),
+            ("REP021", "magic"),
         ]:
             assert main(["lint", "--explain", rule_id]) == 0
             out = capsys.readouterr().out

@@ -1,4 +1,4 @@
-"""Fixture tests for the interprocedural rules (REP014–REP017).
+"""Fixture tests for the interprocedural rules (REP014–REP016, REP020).
 
 Every rule gets violation/compliant twins, a call-depth ≥ 2 case (the
 whole point of the summary layer) and a recursion/SCC case proving the
@@ -356,7 +356,7 @@ def run(executor, chunks):
 
 
 # ---------------------------------------------------------------------------
-# REP017 — unbudgeted allocation
+# REP020 — unbudgeted allocation (formerly REP017; now interval-aware)
 # ---------------------------------------------------------------------------
 
 
@@ -372,7 +372,7 @@ def _emit(length):
 
 def inflate_block(reader, length):
     return _emit(length)
-""", "REP017")
+""", "REP020")
         assert "bytes() with computed size" in f.message
         assert f.line == 5  # anchored at the allocation, not the call
 
@@ -388,7 +388,7 @@ def _emit(length, budget):
 
 def inflate_block(reader, length, budget):
     return _emit(length, budget)
-""", "REP017") == []
+""", "REP020") == []
 
     def test_budget_check_in_caller_absorbs_callee(self):
         assert findings_for("""
@@ -402,7 +402,7 @@ def _emit(length):
 def inflate_block(reader, length, budget):
     budget.check_block(length)
     return _emit(length)
-""", "REP017") == []
+""", "REP020") == []
 
     def test_optional_budget_idiom_is_clean(self):
         # `if budget is not None:` marks both arms checked by design.
@@ -415,7 +415,7 @@ def inflate(reader, length, budget=None):
         out += bytes(length)
         length -= 1
     return out
-""", "REP017") == []
+""", "REP020") == []
 
     def test_constant_size_is_clean(self):
         assert findings_for("""
@@ -424,13 +424,13 @@ def fill(n):
     for _ in range(n):
         out.append(bytes(65536))
     return out
-""", "REP017") == []
+""", "REP020") == []
 
     def test_alloc_outside_loop_is_clean(self):
         assert findings_for("""
 def make(n):
     return bytes(n)
-""", "REP017") == []
+""", "REP020") == []
 
     def test_sequence_repeat_counts(self):
         (f,) = findings_for("""
@@ -440,7 +440,7 @@ def pad(reader, n):
         out += b"?" * n
         n -= 1
     return out
-""", "REP017")
+""", "REP020")
         assert "sequence repeat" in f.message
 
     def test_recursive_alloc_converges(self):
@@ -456,7 +456,7 @@ def shrink(n):
     if n > 2:
         return grow(n - 1) and 0
     return 0
-""", "REP017")
+""", "REP020")
         assert "bytes() with computed size" in f.message
 
     def test_pragma_suppresses(self):
@@ -467,7 +467,7 @@ def pad(n):
         out += bytes(n)  # lint: allow-unbudgeted-alloc(n is <= 258 by the caller's contract)
         n -= 1
     return out
-""", "REP017") == []
+""", "REP020") == []
 
 
 # ---------------------------------------------------------------------------
