@@ -45,7 +45,7 @@ bench:
 # with speedups vs the committed benchmarks/BENCH_baseline.json.
 # Corpus size in MB via BENCH_CORPUS_MB (default 2.0).
 bench-quick:
-	PYTHONPATH=src python benchmarks/bench_decode.py --out BENCH_pr5.json
+	PYTHONPATH=src python benchmarks/bench_decode.py --out BENCH_pr9.json
 
 bench-report:
 	rm -f benchmarks/last_report.txt

@@ -11,14 +11,20 @@ about (Table II / Figure 5) on a deterministic generated corpus:
   (:func:`repro.core.pugz.pugz_decompress_payload`, serial executor, so
   the number measures single-thread work, not parallel speedup).
 
-Results are written as JSON with the schema
+Every workload runs once per decode kernel (``--kernel pure|numpy|both``;
+default ``both``, or ``$REPRO_KERNEL`` when set), and results are
+written as JSON with the schema
 
-    {workload: {"mb_per_s": float, "speedup_vs_baseline": float}}
+    {workload: {kernel: {"mb_per_s": float, "speedup_vs_baseline": float}}}
 
-plus a ``_meta`` entry (corpus size, repeats, python version).  The
-committed baseline (``benchmarks/BENCH_baseline.json``) was captured on
-the pre-optimization tree; ``speedup_vs_baseline`` > 1 means this tree
-is faster.  Run via ``make bench-quick``; see docs/PERFORMANCE.md.
+plus a ``_meta`` entry (corpus size, repeats, python version, kernels).
+The committed baseline (``benchmarks/BENCH_baseline.json``) uses the
+same nested shape; a legacy flat baseline (``{workload: {"mb_per_s"}}``)
+is accepted and applies to every kernel.  ``--max-regression`` gates
+each (workload, kernel) cell independently, so neither kernel can
+regress behind the other's numbers.  ``speedup_vs_baseline`` > 1 means
+this tree is faster.  Run via ``make bench-quick``; see
+docs/PERFORMANCE.md "Two-stage kernels".
 
 Determinism: the corpus is seeded (``random.Random(SEED)``) and zlib is
 deterministic for a given input/level, so byte streams are identical
@@ -74,28 +80,29 @@ def _time_best(fn, repeats: int) -> float:
     return best
 
 
-def run_workloads(corpus: bytes, repeats: int) -> dict[str, float]:
-    """Measure every workload; returns MB/s of *decompressed* output."""
+def run_workloads(corpus: bytes, repeats: int, kernel: str) -> dict[str, float]:
+    """Measure every workload under ``kernel``; MB/s of decompressed output."""
     payload = zlib.compress(corpus, 6)[2:-4]  # strip zlib framing -> raw DEFLATE
     n_out = len(corpus)
 
     results: dict[str, float] = {}
 
     def seq() -> None:
-        data = inflate(payload).data
+        data = inflate(payload, kernel=kernel).data
         assert data == corpus, "sequential inflate produced wrong bytes"
 
     results["sequential_inflate"] = n_out / 1e6 / _time_best(seq, repeats)
 
     def mk() -> None:
-        res = marker_inflate(payload, window=None)
+        res = marker_inflate(payload, window=None, kernel=kernel)
         assert res.total_output == n_out, "marker inflate wrong length"
 
     results["marker_inflate"] = n_out / 1e6 / _time_best(mk, repeats)
 
     def pz() -> None:
         data = pugz_decompress_payload(
-            payload, 0, 8 * len(payload), n_chunks=4, executor="serial"
+            payload, 0, 8 * len(payload), n_chunks=4, executor="serial",
+            kernel=kernel,
         )
         assert data == corpus, "pugz produced wrong bytes"
 
@@ -104,12 +111,28 @@ def run_workloads(corpus: bytes, repeats: int) -> dict[str, float]:
     return results
 
 
+def _baseline_mbps(baseline: dict, workload: str, kernel: str):
+    """Baseline MB/s for a (workload, kernel) cell.
+
+    Accepts both the nested per-kernel schema and the legacy flat one,
+    where a single number covers every kernel.
+    """
+    entry = baseline.get(workload, {})
+    if kernel in entry and isinstance(entry[kernel], dict):
+        return entry[kernel].get("mb_per_s")
+    return entry.get("mb_per_s")
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--size-mb", type=float, default=DEFAULT_MB,
                     help="corpus size in MB (env BENCH_CORPUS_MB overrides default)")
     ap.add_argument("--repeats", type=int, default=3, help="best-of-N timing")
-    ap.add_argument("--out", default="BENCH_pr5.json", help="result JSON path")
+    ap.add_argument("--kernel", choices=("pure", "numpy", "both"),
+                    default=os.environ.get("REPRO_KERNEL") or "both",
+                    help="decode kernel(s) to measure "
+                         "(default: $REPRO_KERNEL, else both)")
+    ap.add_argument("--out", default="BENCH_pr9.json", help="result JSON path")
     ap.add_argument("--baseline", default=os.path.join(
         os.path.dirname(__file__), "BENCH_baseline.json"),
         help="baseline JSON to compare against")
@@ -120,40 +143,56 @@ def main(argv: list[str] | None = None) -> int:
                          "baseline * (1 - MAX_REGRESSION), e.g. 0.2")
     args = ap.parse_args(argv)
 
+    kernels = ("pure", "numpy") if args.kernel == "both" else (args.kernel,)
     corpus = make_corpus(int(args.size_mb * 1e6))
-    print(f"corpus: {len(corpus)/1e6:.2f} MB FASTQ-like, repeats={args.repeats}")
-    measured = run_workloads(corpus, args.repeats)
+    print(
+        f"corpus: {len(corpus)/1e6:.2f} MB FASTQ-like, repeats={args.repeats}, "
+        f"kernels={'/'.join(kernels)}"
+    )
+    measured = {k: run_workloads(corpus, args.repeats, k) for k in kernels}
 
     baseline: dict = {}
     if not args.write_baseline and os.path.exists(args.baseline):
         with open(args.baseline) as fh:
             baseline = json.load(fh)
 
+    header = f"  {'workload':<20}" + "".join(f" {k + ' MB/s':>12}" for k in kernels)
+    if len(kernels) == 2:
+        header += f" {'numpy/pure':>11}"
+    print(header)
+
     report: dict = {}
     failed: list[str] = []
     for name in WORKLOADS:
-        mbps = round(measured[name], 3)
-        if args.write_baseline:
-            report[name] = {"mb_per_s": mbps}
-            print(f"  {name:<20} {mbps:8.2f} MB/s")
-            continue
-        base = baseline.get(name, {}).get("mb_per_s")
-        speedup = round(mbps / base, 3) if base else None
-        report[name] = {"mb_per_s": mbps, "speedup_vs_baseline": speedup}
-        extra = f"  ({speedup:.2f}x vs baseline)" if speedup else ""
-        print(f"  {name:<20} {mbps:8.2f} MB/s{extra}")
-        if (
-            args.max_regression is not None
-            and speedup is not None
-            and speedup < 1.0 - args.max_regression
-        ):
-            failed.append(name)
+        cells: dict = {}
+        row = f"  {name:<20}"
+        for k in kernels:
+            mbps = round(measured[k][name], 3)
+            if args.write_baseline:
+                cells[k] = {"mb_per_s": mbps}
+                row += f" {mbps:12.2f}"
+                continue
+            base = _baseline_mbps(baseline, name, k)
+            speedup = round(mbps / base, 3) if base else None
+            cells[k] = {"mb_per_s": mbps, "speedup_vs_baseline": speedup}
+            row += f" {mbps:12.2f}"
+            if (
+                args.max_regression is not None
+                and speedup is not None
+                and speedup < 1.0 - args.max_regression
+            ):
+                failed.append(f"{name}[{k}]")
+        if len(kernels) == 2:
+            row += f" {measured['numpy'][name] / measured['pure'][name]:10.2f}x"
+        print(row)
+        report[name] = cells
 
     report["_meta"] = {
         "corpus_mb": round(len(corpus) / 1e6, 3),
         "repeats": args.repeats,
         "python": platform.python_version(),
         "seed": SEED,
+        "kernels": list(kernels),
     }
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2, sort_keys=True)

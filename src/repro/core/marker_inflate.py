@@ -95,6 +95,7 @@ def marker_inflate(
     stop_bit: BitOffset | None = None,
     stop_at_final: bool = True,
     budget=None,
+    kernel=None,
 ) -> MarkerInflateResult:
     """Decompress a DEFLATE stream into the marker symbol domain.
 
@@ -131,7 +132,23 @@ def marker_inflate(
         bytes, and the in-block match path refuses any copy that would
         push the symbol count past ``budget.marker_symbol_cap()``
         *before* copying (one int comparison per match).
+    kernel:
+        Decode-kernel selection (see :mod:`repro.perf.kernels`); the
+        vectorized kernel runs Algorithm 2 as token decode plus an
+        int32 symbol replay, falling back to this pure loop per block
+        (and for exact soft/hard limit truncation), so symbol streams,
+        errors, and bit positions are kernel-independent.
     """
+    from repro.perf.kernels import resolve_kernel
+
+    spec = resolve_kernel(kernel)
+    if spec.use_vectorized(len(data)):
+        return _marker_inflate_numpy(
+            data, start_bit, window,
+            sink=sink, flush_symbols=flush_symbols,
+            max_output=max_output, max_blocks=max_blocks,
+            stop_bit=stop_bit, stop_at_final=stop_at_final, budget=budget,
+        )
     reader = BitReader(data, start_bit)
     out: list[int] = _seed_window(window)
     hist0 = len(out)  # 32768
@@ -230,6 +247,161 @@ def marker_inflate(
         truncated=truncated,
         total_output=total_output,
         window=window_arr,
+        blocks=blocks,
+    )
+
+
+def _marker_inflate_numpy(
+    data,
+    start_bit,
+    window,
+    *,
+    sink,
+    flush_symbols: int,
+    max_output: int | None,
+    max_blocks: int | None,
+    stop_bit,
+    stop_at_final: bool,
+    budget,
+) -> MarkerInflateResult:
+    """Vectorized-kernel twin of :func:`marker_inflate`'s main loop.
+
+    Compressed blocks run through the two-stage kernel: stage 1 token
+    decode (identical to the byte domain — the bitstream does not
+    change between domains), stage 2 an **int32** symbol replay seeded
+    with the current marker window, so markers survive match copies
+    untouched.  Three events drop a block to the pure loop for exact
+    reference behaviour: the kernel declining it (:class:`Fallback`),
+    the block crossing the soft ``max_output`` truncation point (the
+    pure loop stops mid-block at the exact token and reader position),
+    and the block crossing the budget's symbol cap (the pure loop
+    raises at the exact match copy).  Output accumulates as immutable
+    int32 chunks; sinks still receive plain lists.
+    """
+    import numpy as np  # noqa: F811 - local alias mirrors module import
+
+    from repro.perf import npkernel
+
+    reader = BitReader(data, start_bit)
+    win = np.asarray(_seed_window(window), dtype=np.int32)
+    blocks: list[BlockInfo] = []
+    final_seen = False
+    truncated = False
+    sym_cap = budget.marker_symbol_cap() if budget is not None else _UNLIMITED_CAP
+
+    kern = npkernel.StreamKernel(data)
+    chunks: list[np.ndarray] = []  # all produced symbols (sink=None) or pending flush
+    produced = 0
+    emitted = 0
+
+    def _flush_np(final: bool = False) -> None:
+        nonlocal chunks, emitted
+        if sink is None:
+            return
+        if chunks:
+            pending = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+            chunks = []
+            sink(pending.tolist(), emitted)
+            emitted += len(pending)
+
+    while True:
+        if max_blocks is not None and len(blocks) >= max_blocks:
+            break
+        if max_output is not None and produced >= max_output:
+            truncated = True
+            break
+        if stop_bit is not None and reader.tell_bits() >= stop_bit:
+            break
+        if reader.bits_remaining() < 3:
+            break
+
+        block_start_bit = reader.tell_bits()
+        header = read_block_header(reader)
+        out_start = produced
+
+        if header.btype == C.BTYPE_STORED:
+            raw = reader.read_bytes(header.stored_len)
+            block_sym = np.frombuffer(raw, np.uint8).astype(np.int32)
+        else:
+            soft_rem = None if max_output is None else max_output - out_start
+            hard_rem = sym_cap - out_start
+            try:
+                offs, vals, _fp, end_bit = kern.decode_block(
+                    reader.tell_bits(), header.litlen, header.dist,
+                    max_out=min(
+                        hard_rem,
+                        _UNLIMITED_CAP if soft_rem is None
+                        else soft_rem + C.MAX_MATCH,
+                    ),
+                )
+                total = int(np.where(offs > 0, vals, 1).sum())
+                if (soft_rem is not None and total >= soft_rem) or total > hard_rem:
+                    raise npkernel.Fallback("block crosses an output limit")
+                block_sym = npkernel.replay_symbols(offs, vals, win)
+            except npkernel.Fallback:
+                local = win.tolist()
+                lprefix = len(local)
+                truncated = _decode_block_symbols(
+                    reader, header, local,
+                    C.LENGTH_BASE, C.LENGTH_EXTRA_BITS,
+                    C.DIST_BASE, C.DIST_EXTRA_BITS,
+                    soft_limit=soft_rem,
+                    hard_limit=hard_rem,
+                )
+                block_sym = np.asarray(local[lprefix:], dtype=np.int32)
+            else:
+                reader.seek_bits(BitOffset(end_bit))
+
+        chunks.append(block_sym)
+        produced += len(block_sym)
+        if len(block_sym) >= C.WINDOW_SIZE:
+            win = block_sym[-C.WINDOW_SIZE:]
+        else:
+            win = np.concatenate([win, block_sym])[-C.WINDOW_SIZE:]
+
+        if budget is not None:
+            resident = C.WINDOW_SIZE + (produced - emitted if sink is not None else produced)
+            budget.check_block(
+                produced,
+                reader.tell_bits() - start_bit,
+                stage="marker_inflate",
+                bit_offset=block_start_bit,
+                marker_buffer_bytes=4 * resident,
+            )
+        blocks.append(
+            BlockInfo(
+                start_bit=block_start_bit,
+                end_bit=reader.tell_bits(),
+                out_start=out_start,
+                out_end=produced,
+                btype=header.btype,
+                bfinal=header.bfinal,
+            )
+        )
+        if sink is not None and produced - emitted >= flush_symbols:
+            _flush_np()
+        if truncated:
+            break
+        if header.bfinal:
+            final_seen = True
+            if stop_at_final:
+                break
+
+    if sink is not None:
+        _flush_np(final=True)
+        symbols = None
+    else:
+        if chunks:
+            symbols = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+        else:
+            symbols = np.empty(0, dtype=np.int32)
+    return MarkerInflateResult(
+        symbols=symbols,
+        end_bit=reader.tell_bits(),
+        final_seen=final_seen,
+        truncated=truncated,
+        total_output=produced,
+        window=win,
         blocks=blocks,
     )
 

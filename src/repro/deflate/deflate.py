@@ -48,8 +48,7 @@ def _token_frequencies(tokens: TokenStream, start: int, end: int) -> tuple[list[
     dist_freq = [0] * C.NUM_DIST_SYMBOLS
     length_to_code = C.LENGTH_TO_CODE
     dist_to_code = C.DIST_TO_CODE
-    offs = tokens._offsets
-    vals = tokens._values
+    offs, vals = tokens.lists()
     for i in range(start, end):
         off = offs[i]
         if off == 0:
@@ -209,8 +208,7 @@ def _emit_tokens(
     lit_enc: HuffmanEncoder,
     dist_enc: HuffmanEncoder | None,
 ) -> None:
-    offs = tokens._offsets
-    vals = tokens._values
+    offs, vals = tokens.lists()
     length_to_code = C.LENGTH_TO_CODE
     dist_to_code = C.DIST_TO_CODE
     lbase = C.LENGTH_BASE
@@ -341,8 +339,7 @@ def compress_tokens(
     # Byte offset in `data` at which each block starts (for stored fallback).
     start = 0
     byte_pos = 0
-    offs = tokens._offsets
-    vals = tokens._values
+    offs, vals = tokens.lists()
     while start < n:
         end = min(start + block_tokens, n)
         block_bytes = 0

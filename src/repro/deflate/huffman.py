@@ -117,10 +117,18 @@ class HuffmanDecoder:
         everywhere except that case.
     """
 
-    __slots__ = ("table", "max_bits", "num_symbols", "complete")
+    __slots__ = ("table", "max_bits", "num_symbols", "complete", "lengths", "np_luts")
 
     def __init__(self, lengths, allow_incomplete: bool = False) -> None:
         lengths = list(lengths)
+        #: Lazily-built lookup tables of the vectorized kernel
+        #: (:mod:`repro.perf.npkernel`); decoders built via
+        #: :func:`cached_decoder` are shared, so the tables amortize
+        #: across every stream reusing the same code lengths.
+        self.np_luts = None
+        #: Code length per symbol as given (the vectorized kernel
+        #: rebuilds its canonical tables from these).
+        self.lengths = lengths
         nonzero = [l for l in lengths if l > 0]
         if not nonzero:
             raise HuffmanError("no symbols in code", stage="huffman")

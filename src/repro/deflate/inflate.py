@@ -245,6 +245,7 @@ def inflate(
     max_output: int | None = None,
     stop_at_final: bool = True,
     budget=None,
+    kernel=None,
 ) -> InflateResult:
     """Decompress a raw DEFLATE stream.
 
@@ -280,6 +281,15 @@ def inflate(
         copying — so a zip bomb errors out with resident output still
         under the cap (worst-case overshoot is one literal-only block,
         itself bounded by 8x the compressed input).
+    kernel:
+        Decode-kernel selection (see :mod:`repro.perf.kernels`):
+        ``None`` (argument > ``REPRO_KERNEL`` env > auto), a kernel
+        name (``"pure"`` / ``"numpy"`` / ``"auto"``), or a resolved
+        :class:`~repro.perf.kernels.KernelSpec`.  The vectorized kernel
+        is only ever an *optimization*: any block it declines is
+        re-decoded by the pure loop, and strict (probe) decodes always
+        run pure, so outputs, errors, and bit positions are identical
+        across kernels (pinned by the differential fuzz suite).
 
     Returns
     -------
@@ -289,6 +299,16 @@ def inflate(
     """
     if len(window) > C.WINDOW_SIZE:
         window = window[-C.WINDOW_SIZE:]
+    # Late import: repro.perf pulls in profiling helpers that import
+    # this module back (cycle is only at import time, not at call time).
+    from repro.perf.kernels import resolve_kernel
+
+    spec = resolve_kernel(kernel)
+    if spec.use_vectorized(len(data)) and not strict:
+        return _inflate_numpy(
+            data, start_bit, window, capture_tokens,
+            max_blocks, max_output, stop_at_final, budget,
+        )
     reader = BitReader(data, start_bit)
     out = bytearray(window)
     prefix = len(out)
@@ -392,6 +412,139 @@ def inflate(
         blocks=blocks,
         tokens=tokens,
         hit_final_probe=hit_final_probe,
+    )
+
+
+def _inflate_numpy(
+    data,
+    start_bit,
+    window: bytes,
+    capture_tokens: bool,
+    max_blocks: int | None,
+    max_output: int | None,
+    stop_at_final: bool,
+    budget,
+) -> InflateResult:
+    """Vectorized-kernel driver with per-block pure fallback.
+
+    Mirrors :func:`inflate`'s non-strict loop exactly, but compressed
+    blocks go through :class:`repro.perf.npkernel.StreamKernel` (token
+    decode) plus :func:`repro.perf.npkernel.replay_bytes` (vectorized
+    LZ77 replay seeded with the rolling 32 KiB tail).  Any block the
+    kernel declines — and any block whose output would cross the
+    resource budget's hard cap — is re-decoded from its header by the
+    same pure loops :func:`inflate` uses, reproducing the reference
+    error class and bit offset; DEFLATE distances never exceed the
+    32 KiB tail, so the fallback sees exactly the history the pure
+    path would.  Per-block replay keeps chains shallow and memory
+    bounded: output lives as immutable chunks, not one growing
+    bytearray.
+    """
+    import numpy as np
+
+    from repro.perf import npkernel
+
+    reader = BitReader(data, start_bit)
+    prefix = len(window)
+    tokens = TokenStream() if capture_tokens else None
+    blocks: list[BlockInfo] = []
+    final_seen = False
+    hard_cap = prefix + (budget.output_cap() if budget is not None else _UNLIMITED_CAP)
+
+    kern = npkernel.StreamKernel(data)
+    parts: list[bytes] = []
+    tail = window
+    produced = 0
+
+    while True:
+        if max_blocks is not None and len(blocks) >= max_blocks:
+            break
+        if max_output is not None and produced >= max_output:
+            break
+        if reader.bits_remaining() < 3:
+            break
+        block_start_bit = reader.tell_bits()
+        header = read_block_header(reader, strict=False)
+        out_start = produced
+
+        if header.btype == C.BTYPE_STORED:
+            chunk = reader.read_bytes(header.stored_len)
+            parts.append(chunk)
+            produced += len(chunk)
+            tail = (tail + chunk)[-C.WINDOW_SIZE:]
+            if tokens is not None and chunk:
+                tokens.add_columnar(
+                    np.zeros(len(chunk), np.int32),
+                    np.frombuffer(chunk, np.uint8).astype(np.int32),
+                )
+        else:
+            try:
+                offs, vals, _fp, end_bit = kern.decode_block(
+                    reader.tell_bits(), header.litlen, header.dist,
+                    max_out=hard_cap - prefix - produced,
+                )
+                if budget is not None:
+                    total = int(np.where(offs > 0, vals, 1).sum())
+                    if prefix + produced + total > hard_cap:
+                        # Let the pure loop raise (match copy) or
+                        # complete into the block-boundary check
+                        # (literal growth) exactly as without a kernel.
+                        raise npkernel.Fallback("block crosses the output cap")
+                block_out = npkernel.replay_bytes(offs, vals, tail)
+            except npkernel.Fallback:
+                # Pure re-decode of this one block, seeded with the
+                # tail: reproduces the reference error (class and bit
+                # offset) if the block is truly bad, or its exact
+                # bytes if the kernel merely declined it.
+                body = bytearray(tail)  # lint: allow-unbudgeted-alloc(tail is trimmed to the 32 KiB window every iteration)
+                lprefix = len(body)
+                local_cap = hard_cap - prefix - produced + lprefix
+                if tokens is not None:
+                    _decode_huffman_block(
+                        reader, header, body, tokens, None,
+                        C.LENGTH_BASE, C.LENGTH_EXTRA_BITS,
+                        C.DIST_BASE, C.DIST_EXTRA_BITS, strict=False,
+                    )
+                else:
+                    _decode_huffman_block_fast(reader, header, body, local_cap)
+                block_out = bytes(body[lprefix:])  # lint: allow-unbudgeted-alloc(block growth is capped by local_cap inside the block decoders)
+            else:
+                reader.seek_bits(BitOffset(end_bit))
+                if tokens is not None:
+                    tokens.add_columnar(offs, vals)
+            parts.append(block_out)
+            produced += len(block_out)
+            tail = (tail + block_out)[-C.WINDOW_SIZE:]
+
+        if budget is not None:
+            budget.check_block(
+                produced,
+                reader.tell_bits() - start_bit,
+                stage="inflate",
+                bit_offset=block_start_bit,
+            )
+        blocks.append(
+            BlockInfo(
+                start_bit=block_start_bit,
+                end_bit=reader.tell_bits(),
+                out_start=out_start,
+                out_end=produced,
+                btype=header.btype,
+                bfinal=header.bfinal,
+            )
+        )
+        if header.bfinal:
+            final_seen = True
+            if stop_at_final:
+                break
+
+    return InflateResult(
+        data=b"".join(parts),
+        end_bit=reader.tell_bits(),
+        final_seen=final_seen,
+        blocks=blocks,
+        tokens=tokens,
+        hit_final_probe=False,
     )
 
 

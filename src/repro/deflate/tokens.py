@@ -74,44 +74,130 @@ class TokenStats:
 
 
 class TokenStream:
-    """Growable sequence of tokens with columnar (numpy) export.
+    """Growable sequence of tokens stored as columnar (numpy) chunks.
 
-    The decoder appends with :meth:`add_literal` / :meth:`add_match`;
-    analysis code reads the columnar views, which avoid creating one
-    Python object per token for multi-million-token streams.
+    Two append paths feed the same storage: the pure decoder appends
+    scalar tokens with :meth:`add_literal` / :meth:`add_match` (buffered
+    in plain lists), and the vectorized kernel hands over whole blocks
+    at once with :meth:`add_columnar` — int32 column arrays are adopted
+    as chunks without a per-token Python loop.  Readers always go
+    through :meth:`offsets` / :meth:`values`, which concatenate the
+    chunks once and memoize the result until the next append;
+    :class:`Token` objects are only materialized lazily, one at a time,
+    by indexing or iteration.
     """
 
-    __slots__ = ("_offsets", "_values")
+    __slots__ = (
+        "_chunks",
+        "_pend_offsets",
+        "_pend_values",
+        "_len",
+        "_cache",
+        "_list_cache",
+    )
 
     def __init__(self) -> None:
-        self._offsets: list[int] = []
-        self._values: list[int] = []
+        self._chunks: list[tuple[np.ndarray, np.ndarray]] = []
+        self._pend_offsets: list[int] = []
+        self._pend_values: list[int] = []
+        self._len = 0
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+        self._list_cache: tuple[list[int], list[int]] | None = None
 
     def __len__(self) -> int:
-        return len(self._offsets)
+        return self._len
 
     def add_literal(self, byte: int) -> None:
-        self._offsets.append(0)
-        self._values.append(byte)
+        self._pend_offsets.append(0)
+        self._pend_values.append(byte)
+        self._len += 1
+        self._cache = None
+        self._list_cache = None
 
     def add_match(self, offset: int, length: int) -> None:
-        self._offsets.append(offset)
-        self._values.append(length)
+        self._pend_offsets.append(offset)
+        self._pend_values.append(length)
+        self._len += 1
+        self._cache = None
+        self._list_cache = None
+
+    def add_columnar(self, offsets: np.ndarray, values: np.ndarray) -> None:
+        """Adopt row-aligned offset/value arrays as one chunk.
+
+        ``offsets[i] == 0`` marks row ``i`` a literal with byte value
+        ``values[i]``, exactly as in :class:`Token`.  The arrays are
+        adopted, not copied: the caller must not mutate them afterwards.
+        """
+        if len(offsets) != len(values):
+            raise ValueError("offsets and values must be row-aligned")
+        if not len(offsets):
+            return
+        self._flush_pending()
+        self._chunks.append(
+            (
+                np.ascontiguousarray(offsets, dtype=np.int32),
+                np.ascontiguousarray(values, dtype=np.int32),
+            )
+        )
+        self._len += len(offsets)
+        self._cache = None
+        self._list_cache = None
+
+    def _flush_pending(self) -> None:
+        if self._pend_offsets:
+            self._chunks.append(
+                (
+                    np.asarray(self._pend_offsets, dtype=np.int32),
+                    np.asarray(self._pend_values, dtype=np.int32),
+                )
+            )
+            self._pend_offsets = []
+            self._pend_values = []
+
+    def _columns(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._cache is None:
+            self._flush_pending()
+            if not self._chunks:
+                empty = np.empty(0, dtype=np.int32)
+                self._cache = (empty, empty)
+            elif len(self._chunks) == 1:
+                self._cache = self._chunks[0]
+            else:
+                self._cache = (
+                    np.concatenate([c[0] for c in self._chunks]),
+                    np.concatenate([c[1] for c in self._chunks]),
+                )
+                self._chunks = [self._cache]
+        return self._cache
 
     def __getitem__(self, i: int) -> Token:
-        return Token(self._offsets[i], self._values[i])
+        offsets, values = self._columns()
+        return Token(int(offsets[i]), int(values[i]))
 
     def __iter__(self):
-        for off, val in zip(self._offsets, self._values):
+        offsets, values = self._columns()
+        for off, val in zip(offsets.tolist(), values.tolist()):
             yield Token(off, val)
+
+    def lists(self) -> tuple[list[int], list[int]]:
+        """Offset/value columns as plain Python lists (memoized).
+
+        The compressor's per-symbol frequency loops index tokens with
+        Python ints millions of times; list indexing beats numpy scalar
+        indexing there, so this keeps a parallel list view cached.
+        """
+        if self._list_cache is None:
+            offsets, values = self._columns()
+            self._list_cache = (offsets.tolist(), values.tolist())
+        return self._list_cache
 
     def offsets(self) -> np.ndarray:
         """Match offsets (0 rows are literals)."""
-        return np.asarray(self._offsets, dtype=np.int32)
+        return self._columns()[0]
 
     def values(self) -> np.ndarray:
         """Literal bytes / match lengths, row-aligned with :meth:`offsets`."""
-        return np.asarray(self._values, dtype=np.int32)
+        return self._columns()[1]
 
     def stats(self) -> TokenStats:
         """Compute aggregate statistics in one vectorised pass."""

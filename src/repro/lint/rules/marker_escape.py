@@ -14,15 +14,22 @@ The rule taints values originating from the marker domain —
 ``marker_inflate(...).symbols``, ``resolve(...)`` results (resolution
 against a partially-resolved window keeps markers), elements and
 iteration over tainted arrays — and reports them reaching a byte sink:
-``bytes(x)``, ``bytearray(x)``, ``chr(x)``, ``x.decode(...)``.
+``bytes(x)``, ``bytearray(x)``, ``chr(x)``, ``x.decode(...)``,
+``x.tobytes()``, and the *vectorized* narrowing ``x.astype(np.uint8)``
+(which silently truncates every code >= 256 to its low byte — the
+hardest escape to notice, because the result looks like plausible
+data).  Taint follows vectorized gathers: ``x.take(idx)`` /
+``np.take(x, idx)`` propagate the *source array's* domain to the
+gathered result (the indices never launder the values), matching how
+the two-stage decode kernel replays LZ77 copies.
 
 Taint clears at the documented escape points: ``to_bytes(x)``,
-``x - MARKER_BASE`` (marker code -> window position), a byte mask, an
-``astype(np.uint8)`` cast, or a dominating comparison against
-``MARKER_BASE``/256 (the ``if sym < 256`` guard idiom).
+``x - MARKER_BASE`` (marker code -> window position), a byte mask, or
+a dominating comparison against ``MARKER_BASE``/256 (the ``if sym <
+256`` guard idiom).
 
-``repro/core/translate.py`` — the one module whose *job* is crossing
-the boundary — is exempt.  Escape hatch:
+``repro/core/translate.py`` and ``repro/core/marker.py`` — the modules
+whose *job* is crossing the boundary — are exempt.  Escape hatch:
 ``# lint: allow-marker-escape(<reason>)``.
 """
 
@@ -70,7 +77,7 @@ def _call_name(func: ast.expr) -> str:
 
 
 def _is_uint8_astype(node: ast.Call) -> bool:
-    """``x.astype(np.uint8)`` — the sanctioned byte-domain cast."""
+    """``x.astype(np.uint8)`` — a silent low-byte truncation of markers."""
     if not (isinstance(node.func, ast.Attribute) and node.func.attr == "astype"):
         return False
     for arg in node.args:
@@ -169,6 +176,27 @@ class _MarkerTaintAnalysis(FlowAnalysis):
         if name == "to_bytes" or name == "from_bytes":
             return None  # the sanctioned boundary crossings
         if _is_uint8_astype(node):
+            # Reported as a sink in ``_scan``; the (corrupted) result
+            # is byte-shaped, so downstream sinks don't double-report.
+            return None
+        if name == "take":
+            # Vectorized gather: the result lives in the *source*
+            # array's domain; the index operand never launders it.
+            # ``np.take(x, idx)`` reads the source from the first
+            # argument, ``x.take(idx)`` from the receiver.
+            source: ast.expr | None = None
+            if isinstance(node.func, ast.Attribute):
+                base = node.func.value
+                if isinstance(base, ast.Name) and base.id in ("np", "numpy"):
+                    source = node.args[0] if node.args else None
+                else:
+                    source = base
+            elif node.args:
+                source = node.args[0]
+            if source is not None and self.taint_of(source, env) in (
+                _MARKER, _MARKER_SEQ,
+            ):
+                return _MARKER_SEQ
             return None
         if name in ("asarray", "array", "copy", "astype", "tobytes", "list",
                     "tolist", "concatenate"):
@@ -322,6 +350,18 @@ class _MarkerTaintAnalysis(FlowAnalysis):
                         "storage, not text",
                         _HINT,
                     )
+            elif (
+                name == "astype"
+                and _is_uint8_astype(node)
+                and isinstance(node.func, ast.Attribute)
+            ):
+                if self.taint_of(node.func.value, env) in (_MARKER, _MARKER_SEQ):
+                    yield (
+                        node,
+                        "astype(uint8) on a marker-domain array silently "
+                        "truncates codes >= 256 to their low byte",
+                        _HINT,
+                    )
 
 
 @register
@@ -330,7 +370,8 @@ class MarkerEscapeRule(FlowRule):
     slug = "marker-escape"
     summary = (
         "marker symbols (codes >= 256) must be resolved before bytes()/"
-        "chr()/.decode()/tobytes() outside core/translate.py"
+        "chr()/.decode()/tobytes()/astype(uint8) outside core/translate.py "
+        "and core/marker.py; take() gathers inherit the source's domain"
     )
     example_bad = (
         "from repro.core.marker import MARKER_BASE\n"
@@ -346,7 +387,7 @@ class MarkerEscapeRule(FlowRule):
     )
 
     def applies_to(self, module: ModuleInfo) -> bool:
-        return module.name != "repro.core.translate"
+        return module.name not in ("repro.core.translate", "repro.core.marker")
 
     def make_analysis(self, module: ModuleInfo, func) -> FlowAnalysis:
         return _MarkerTaintAnalysis()

@@ -1,4 +1,4 @@
-"""Differential fuzz: optimized decode vs reference decoders (PR 5).
+"""Differential fuzz: optimized decode vs reference decoders (PR 5/9).
 
 The hot-path rewrite must not drift by a single byte or bit.  Each
 seeded stream is decoded three ways and cross-checked:
@@ -15,6 +15,13 @@ seeded stream is decoded three ways and cross-checked:
 Byte output must be identical across all four, and the final bit
 positions of the three in-repo decoders must agree exactly.
 
+PR 9 widens the matrix with the two-stage vectorized kernel: every
+seeded stream additionally decodes under ``kernel="pure"`` and
+``kernel="numpy"`` in *both* domains (byte and marker), and the pair
+must agree on output bytes/symbols, final bit position, block table,
+captured tokens, and the marker window — including through the
+recovery paths (pugz salvage around deliberately smashed blocks).
+
 ~50 streams: 10 seeds x 5 stream shapes (stored blocks, fixed-Huffman,
 dynamic at two levels, sync-flush seams), over random-DNA and
 FASTQ-like corpora.  Runs in tier-1 (small inputs, a few seconds).
@@ -29,6 +36,7 @@ import numpy as np
 import pytest
 
 from repro.core.marker_inflate import marker_inflate
+from repro.core.pugz import pugz_decompress_payload
 from repro.deflate.inflate import inflate
 
 SEEDS = range(10)
@@ -112,3 +120,86 @@ def test_differential_decode(seed: int, shape: str):
         (b.start_bit, b.end_bit, b.out_start, b.out_end, b.btype, b.bfinal)
         for b in general.blocks
     ]
+
+
+def _block_tuples(blocks):
+    return [
+        (b.start_bit, b.end_bit, b.out_start, b.out_end, b.btype, b.bfinal)
+        for b in blocks
+    ]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("shape", SHAPES)
+def test_kernel_differential(seed: int, shape: str):
+    """The vectorized kernel is bit-for-bit equal to the pure one.
+
+    Covers both domains: byte-output ``inflate`` (with and without
+    token capture) and marker-domain ``marker_inflate`` from an
+    undetermined context.  The explicit ``kernel="numpy"`` argument
+    bypasses the auto-selection size gate, so the small fuzz streams
+    genuinely exercise the vectorized path.
+    """
+    text = make_text(seed)
+    payload = compress_shape(text, shape)
+    reference = zlib.decompress(payload, -15)
+
+    p = inflate(payload, kernel="pure")
+    n = inflate(payload, kernel="numpy")
+    assert n.data == p.data == reference
+    assert n.end_bit == p.end_bit
+    assert n.final_seen == p.final_seen
+    assert _block_tuples(n.blocks) == _block_tuples(p.blocks)
+
+    pt = inflate(payload, capture_tokens=True, kernel="pure")
+    nt = inflate(payload, capture_tokens=True, kernel="numpy")
+    assert nt.data == pt.data == reference
+    assert nt.end_bit == pt.end_bit
+    assert np.array_equal(nt.tokens.offsets(), pt.tokens.offsets())
+    assert np.array_equal(nt.tokens.values(), pt.tokens.values())
+
+    mp = marker_inflate(payload, kernel="pure")
+    mn = marker_inflate(payload, kernel="numpy")
+    assert np.array_equal(mn.symbols, mp.symbols)
+    assert mn.end_bit == mp.end_bit
+    assert mn.final_seen == mp.final_seen
+    assert mn.total_output == mp.total_output
+    assert np.array_equal(mn.window, mp.window)
+    assert _block_tuples(mn.blocks) == _block_tuples(mp.blocks)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_kernel_differential_recovery(seed: int):
+    """Recovery paths agree between kernels on corrupted streams.
+
+    Each seeded stream gets one block header smashed mid-stream; pugz
+    in recover mode must salvage the identical output, hole table, and
+    per-chunk outcomes under both kernels.
+    """
+    text = make_text(seed, n=60_000)
+    payload = compress_shape(text, "sync_flush")
+    blocks = inflate(payload).blocks
+    if len(blocks) < 3:
+        pytest.skip("stream produced too few blocks to corrupt safely")
+    target = blocks[len(blocks) // 2]
+    byte0 = target.start_bit // 8
+    bad = bytearray(payload)
+    bad[byte0 + 1 : byte0 + 4] = b"\xff\xff\xff"
+    bad = bytes(bad)
+
+    results = {}
+    for k in ("pure", "numpy"):
+        from repro.core.pugz import PugzReport
+
+        report = PugzReport(n_chunks_requested=3)
+        out = pugz_decompress_payload(
+            bad, 0, 8 * len(bad), n_chunks=3, report=report,
+            on_error="recover", kernel=k,
+        )
+        results[k] = (
+            out,
+            [h.to_dict() for h in report.holes],
+            report.chunk_outcomes,
+            report.unresolved_markers,
+        )
+    assert results["pure"] == results["numpy"]

@@ -69,3 +69,55 @@ class TestTokenStream:
         stats = ts.stats()
         assert stats.literal_fraction == 1.0
         assert stats.output_length == 5
+
+    def test_add_columnar_interleaves_with_scalar(self):
+        ts = TokenStream()
+        ts.add_literal(65)
+        ts.add_columnar(
+            np.asarray([0, 9], dtype=np.int32),
+            np.asarray([66, 4], dtype=np.int32),
+        )
+        ts.add_match(2, 5)
+        assert len(ts) == 4
+        assert ts.offsets().tolist() == [0, 0, 9, 2]
+        assert ts.values().tolist() == [65, 66, 4, 5]
+        assert [t.is_literal for t in ts] == [True, True, False, False]
+
+    def test_add_columnar_misaligned_raises(self):
+        ts = TokenStream()
+        with pytest.raises(ValueError, match="row-aligned"):
+            ts.add_columnar(
+                np.zeros(3, dtype=np.int32), np.zeros(2, dtype=np.int32)
+            )
+
+    def test_add_columnar_empty_is_noop(self):
+        ts = TokenStream()
+        empty = np.empty(0, dtype=np.int32)
+        ts.add_columnar(empty, empty)
+        assert len(ts) == 0
+
+    def test_lists_view_matches_columns(self):
+        ts = TokenStream()
+        ts.add_columnar(
+            np.asarray([0, 7, 0], dtype=np.int32),
+            np.asarray([1, 3, 2], dtype=np.int32),
+        )
+        offs, vals = ts.lists()
+        assert offs == [0, 7, 0] and vals == [1, 3, 2]
+        assert ts.lists() is not None
+        # Memoized view invalidates on append.
+        ts.add_literal(9)
+        offs2, vals2 = ts.lists()
+        assert offs2 == [0, 7, 0, 0] and vals2 == [1, 3, 2, 9]
+
+    def test_stats_from_columnar(self):
+        ts = TokenStream()
+        ts.add_columnar(
+            np.asarray([0, 0, 1000, 3000], dtype=np.int32),
+            np.asarray([65, 65, 10, 30], dtype=np.int32),
+        )
+        stats = ts.stats()
+        assert stats.num_literals == 2
+        assert stats.num_matches == 2
+        assert stats.mean_offset == 2000.0
+        assert stats.output_length == 42

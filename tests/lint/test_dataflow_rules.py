@@ -329,6 +329,91 @@ class TestREP011MarkerEscape:
         )
         assert findings_for(ok, "REP011") == []
 
+    # -- PR 9: vectorized sinks and take() propagation ----------------------
+
+    def test_astype_uint8_on_marker_array_is_a_sink(self):
+        bad = (
+            "import numpy as np\n"
+            "from repro.core.marker import undetermined_window\n"
+            "def f(n):\n"
+            "    syms = undetermined_window(n)\n"
+            "    return syms.astype(np.uint8)\n"
+        )
+        (f,) = findings_for(bad, "REP011")
+        assert f.line == 5
+        assert "astype(uint8)" in f.message
+
+    def test_astype_uint8_on_clean_array_is_quiet(self):
+        good = (
+            "import numpy as np\n"
+            "def f(values):\n"
+            "    arr = np.asarray(values)\n"
+            "    return arr.astype(np.uint8)\n"
+        )
+        assert findings_for(good, "REP011") == []
+
+    def test_astype_uint8_tobytes_reports_once(self):
+        # The cast is the reported sink; its (already corrupted) result
+        # is byte-shaped, so the trailing tobytes() must not double-fire.
+        bad = (
+            "import numpy as np\n"
+            "from repro.core.marker import undetermined_window\n"
+            "def f(n):\n"
+            "    return undetermined_window(n).astype(np.uint8).tobytes()\n"
+        )
+        (f,) = findings_for(bad, "REP011")
+        assert "astype(uint8)" in f.message
+
+    def test_take_propagates_source_taint(self):
+        bad = (
+            "import numpy as np\n"
+            "from repro.core.marker import undetermined_window\n"
+            "def f(n, idx):\n"
+            "    gathered = np.take(undetermined_window(n), idx)\n"
+            "    return bytes(gathered)\n"
+        )
+        (f,) = findings_for(bad, "REP011")
+        assert f.line == 5
+        assert "bytes()" in f.message
+
+    def test_take_method_propagates_source_taint(self):
+        bad = (
+            "from repro.core.marker import undetermined_window\n"
+            "def f(n, idx):\n"
+            "    syms = undetermined_window(n)\n"
+            "    return bytes(syms.take(idx))\n"
+        )
+        (f,) = findings_for(bad, "REP011")
+        assert "bytes()" in f.message
+
+    def test_take_indices_do_not_launder_or_taint(self):
+        # Clean source + tainted indices: the gather result carries the
+        # *source's* domain, so this is byte-safe.
+        good = (
+            "import numpy as np\n"
+            "from repro.core.marker import MARKER_BASE, undetermined_window\n"
+            "def f(lut, n):\n"
+            "    positions = undetermined_window(n) - MARKER_BASE\n"
+            "    return bytes(np.take(lut, positions))\n"
+        )
+        assert findings_for(good, "REP011") == []
+
+    def test_marker_module_is_exempt(self):
+        bad = (
+            "import numpy as np\n"
+            "from repro.core.marker import undetermined_window\n"
+            "def f(n):\n"
+            "    return undetermined_window(n).astype(np.uint8)\n"
+        )
+        assert (
+            findings_for(
+                bad, "REP011",
+                module_name="repro.core.marker",
+                relpath="src/repro/core/marker.py",
+            )
+            == []
+        )
+
 
 # ---------------------------------------------------------------------------
 # REP012 — pragmas must carry a reason
