@@ -41,11 +41,11 @@ bench:
 	pytest benchmarks/ --benchmark-only
 
 # Decode-throughput regression check (docs/PERFORMANCE.md): times the
-# hot decode paths on a deterministic corpus and writes BENCH_pr5.json
+# hot decode paths on a deterministic corpus and writes BENCH_pr10.json
 # with speedups vs the committed benchmarks/BENCH_baseline.json.
 # Corpus size in MB via BENCH_CORPUS_MB (default 2.0).
 bench-quick:
-	PYTHONPATH=src python benchmarks/bench_decode.py --out BENCH_pr9.json
+	PYTHONPATH=src python benchmarks/bench_decode.py --out BENCH_pr10.json
 
 bench-report:
 	rm -f benchmarks/last_report.txt

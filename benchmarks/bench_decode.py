@@ -9,7 +9,14 @@ about (Table II / Figure 5) on a deterministic generated corpus:
   undetermined context (:func:`repro.core.marker_inflate.marker_inflate`);
 * ``pugz_two_pass``      — the full two-pass parallel decompressor
   (:func:`repro.core.pugz.pugz_decompress_payload`, serial executor, so
-  the number measures single-thread work, not parallel speedup).
+  the number measures single-thread work, not parallel speedup);
+* ``seek_cold``          — first touch of an un-indexed gzip file via
+  :class:`repro.index.seekable.SeekableGzipReader` (the pugz cold start
+  that also builds the checkpoint index); MB/s of the whole corpus the
+  cold pass decodes;
+* ``seek_warm``          — 64 seeded random 4 KiB ``pread`` calls
+  against a pre-built index; MB/s of *served* bytes, so the <= span
+  decode overhead per seek is priced in.
 
 Every workload runs once per decode kernel (``--kernel pure|numpy|both``;
 default ``both``, or ``$REPRO_KERNEL`` when set), and results are
@@ -46,10 +53,18 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 from repro.core.marker_inflate import marker_inflate  # noqa: E402
 from repro.core.pugz import pugz_decompress_payload  # noqa: E402
 from repro.deflate.inflate import inflate  # noqa: E402
+from repro.index.seekable import SeekableGzipReader  # noqa: E402
+from repro.index.zran import build_index  # noqa: E402
 
 SEED = 0x5EED5
 DEFAULT_MB = float(os.environ.get("BENCH_CORPUS_MB", "2.0"))
-WORKLOADS = ("sequential_inflate", "marker_inflate", "pugz_two_pass")
+WORKLOADS = (
+    "sequential_inflate",
+    "marker_inflate",
+    "pugz_two_pass",
+    "seek_cold",
+    "seek_warm",
+)
 
 
 def make_corpus(n_bytes: int, seed: int = SEED) -> bytes:
@@ -108,7 +123,38 @@ def run_workloads(corpus: bytes, repeats: int, kernel: str) -> dict[str, float]:
 
     results["pugz_two_pass"] = n_out / 1e6 / _time_best(pz, repeats)
 
+    gz = _gzip_frame(corpus, payload)
+
+    def cold() -> None:
+        reader = SeekableGzipReader(gz, n_chunks=4, kernel=kernel)
+        mid = n_out // 2
+        assert reader.pread(mid, 4096) == corpus[mid : mid + 4096]
+
+    results["seek_cold"] = n_out / 1e6 / _time_best(cold, repeats)
+
+    idx = build_index(gz, span=1 << 18)
+    import random
+
+    rng = random.Random(SEED + 1)
+    offsets = [rng.randrange(0, n_out - 4096) for _ in range(64)]
+
+    def warm() -> None:
+        reader = SeekableGzipReader(gz, index=idx, kernel=kernel)
+        for off in offsets:
+            assert reader.pread(off, 4096) == corpus[off : off + 4096]
+
+    results["seek_warm"] = len(offsets) * 4096 / 1e6 / _time_best(warm, repeats)
+
     return results
+
+
+def _gzip_frame(corpus: bytes, payload: bytes) -> bytes:
+    """Frame the raw DEFLATE payload as a single-member gzip file."""
+    import struct
+
+    header = b"\x1f\x8b\x08\x00\x00\x00\x00\x00\x00\xff"
+    trailer = struct.pack("<II", zlib.crc32(corpus), len(corpus) & 0xFFFFFFFF)
+    return header + payload + trailer
 
 
 def _baseline_mbps(baseline: dict, workload: str, kernel: str):
@@ -132,7 +178,7 @@ def main(argv: list[str] | None = None) -> int:
                     default=os.environ.get("REPRO_KERNEL") or "both",
                     help="decode kernel(s) to measure "
                          "(default: $REPRO_KERNEL, else both)")
-    ap.add_argument("--out", default="BENCH_pr9.json", help="result JSON path")
+    ap.add_argument("--out", default="BENCH_pr10.json", help="result JSON path")
     ap.add_argument("--baseline", default=os.path.join(
         os.path.dirname(__file__), "BENCH_baseline.json"),
         help="baseline JSON to compare against")

@@ -24,6 +24,7 @@ from repro.deflate.deflate import deflate_compress
 from repro.deflate.inflate import inflate
 from repro.errors import GzipFormatError, IndexIntegrityError
 from repro.index.integrity import atomic_write_bytes, seal, unseal
+from repro.io.source import ByteSource
 
 __all__ = [
     "BGZF_EOF",
@@ -32,7 +33,9 @@ __all__ = [
     "bgzf_compress",
     "bgzf_decompress",
     "scan_blocks",
+    "scan_blocks_source",
     "read_block",
+    "read_block_source",
     "make_virtual_offset",
     "split_virtual_offset",
     "blocks_to_bytes",
@@ -167,6 +170,45 @@ def read_block(data: bytes, block: BgzfBlock, verify: bool = True) -> bytes:
         if stored_crc != crc32(out):
             raise GzipFormatError("BGZF block CRC mismatch", stage="bgzf")
     return out
+
+
+def scan_blocks_source(source) -> list[BgzfBlock]:
+    """Ranged-I/O variant of :func:`scan_blocks`: enumerate blocks by
+    hopping header-to-header with ``pread``, never holding more than one
+    member's metadata in memory.  ``source`` may be bytes, a path, a
+    binary file object, or a :class:`~repro.io.source.ByteSource`.
+    """
+    src = ByteSource.wrap(source)
+    if src.is_in_memory:
+        return scan_blocks(src.read_all())
+    blocks = []
+    n = src.size()
+    offset = 0
+    while offset < n:
+        head = src.pread(offset, 12)
+        if len(head) < 12:
+            raise GzipFormatError("truncated BGZF block", stage="bgzf")
+        xlen = struct.unpack_from("<H", head, 10)[0]
+        csize = _parse_bsize(head + src.pread(offset + 12, xlen), 0)
+        if offset + csize > n:
+            raise GzipFormatError("truncated BGZF block", stage="bgzf")
+        isize = struct.unpack("<I", src.pread(offset + csize - 4, 4))[0]
+        blocks.append(BgzfBlock(coffset=offset, csize=csize, usize=isize))
+        offset += csize
+    if not blocks or not blocks[-1].is_eof:
+        raise GzipFormatError("BGZF file lacks the EOF sentinel block", stage="bgzf")
+    return blocks
+
+
+def read_block_source(source, block: BgzfBlock, verify: bool = True) -> bytes:
+    """Ranged-I/O variant of :func:`read_block`: reads exactly the
+    block's ``csize`` compressed bytes at its ``coffset``."""
+    src = ByteSource.wrap(source)
+    member = src.pread(block.coffset, block.csize)
+    if len(member) < block.csize:
+        raise GzipFormatError("truncated BGZF block", stage="bgzf")
+    shifted = BgzfBlock(coffset=0, csize=block.csize, usize=block.usize)
+    return read_block(member, shifted, verify)
 
 
 def bgzf_decompress(data: bytes, verify: bool = True) -> bytes:

@@ -12,25 +12,32 @@ from repro.bgzf.format import (
     BgzfBlock,
     make_virtual_offset,
     read_block,
+    read_block_source,
     scan_blocks,
+    scan_blocks_source,
     split_virtual_offset,
 )
 from repro.errors import GzipFormatError, RandomAccessError
+from repro.io.source import ByteSource
 from repro.parallel.executor import Executor, make_executor
 
 __all__ = ["BgzfReader", "bgzf_decompress_parallel"]
 
 
 class BgzfReader:
-    """Random-access reader over an in-memory BGZF file.
+    """Random-access reader over a BGZF file.
 
     Provides uncompressed-offset addressing (via the cumulative block
     table) and virtual-offset addressing (the htslib convention).
+    ``data`` may be the file as bytes (the historical signature), a
+    filesystem path, a seekable binary file object, or a
+    :class:`~repro.io.source.ByteSource` — non-bytes sources are read
+    one block at a time with ranged I/O, never fully materialised.
     """
 
     def __init__(
         self,
-        data: bytes,
+        data,
         verify: bool = True,
         blocks: list[BgzfBlock] | None = None,
     ) -> None:
@@ -38,10 +45,10 @@ class BgzfReader:
         persisted sidecar via
         :func:`repro.bgzf.format.load_or_scan_blocks`), skipping the
         O(#blocks) header walk on open."""
-        self._data = data
+        self._source = ByteSource.wrap(data)
         self._verify = verify
         if blocks is None:
-            blocks = scan_blocks(data)
+            blocks = scan_blocks_source(self._source)
         self.blocks: list[BgzfBlock] = [b for b in blocks if not b.is_eof]
         self._starts = []  # uncompressed start of each block
         total = 0
@@ -58,7 +65,7 @@ class BgzfReader:
     def _block_bytes(self, index: int) -> bytes:
         if self._cache is not None and self._cache[0] == index:
             return self._cache[1]
-        out = read_block(self._data, self.blocks[index], self._verify)
+        out = read_block_source(self._source, self.blocks[index], self._verify)
         self._cache = (index, out)
         return out
 

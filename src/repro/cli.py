@@ -229,13 +229,35 @@ def _cmd_recover(args) -> int:
     return 0
 
 
+def _source_arg(path: str):
+    """CLI input as a ranged-I/O source: stdin is slurped, a file path
+    is passed through so readers fetch only the ranges they need."""
+    if path == "-":
+        return sys.stdin.buffer.read()
+    return path
+
+
 def _cmd_index(args) -> int:
     from repro.index import GzipIndex, build_index, load_or_rebuild
 
-    data = _read(args.input)
-    if args.extract is not None:
+    if args.mode == "info":
+        idx = GzipIndex.load(args.index_file)
+        kinds: dict[str, int] = {}
+        for cp in idx.checkpoints:
+            kinds[cp.kind] = kinds.get(cp.kind, 0) + 1
+        print(f"index file:      {args.index_file}")
+        print(f"checkpoints:     {len(idx.checkpoints)}")
+        for kind in sorted(kinds):
+            print(f"  {kind + ':':<14} {kinds[kind]}")
+        print(f"uncompressed:    {idx.usize} bytes")
+        print(f"compressed:      {idx.csize or 'unknown (v1 index)'} bytes")
+        print(f"span:            {idx.span} bytes")
+        return 0
+
+    source = _source_arg(args.input)
+    if args.mode == "extract":
         if args.auto_rebuild:
-            idx, rebuilt = load_or_rebuild(args.index_file, data, span=args.span)
+            idx, rebuilt = load_or_rebuild(args.index_file, source, span=args.span)
             if rebuilt:
                 print(
                     f"index: {args.index_file} was missing or damaged; "
@@ -244,18 +266,62 @@ def _cmd_index(args) -> int:
                 )
         else:
             idx = GzipIndex.load(args.index_file)
-        out = idx.read_at(data, args.extract, args.size)
+        out = idx.read_at(source, args.extract, args.size)
         _write(args.output or "-", out)
         return 0
+
     t0 = time.perf_counter()
-    idx = build_index(data, span=args.span)
+    if args.builder == "pugz":
+        from repro.core.parallel_index import pugz_build_index
+
+        _, idx = pugz_build_index(
+            source, n_chunks=args.threads, executor=args.executor
+        )
+    else:
+        idx = build_index(source, span=args.span)
     idx.save(args.index_file)
     print(
-        f"index: {len(idx.checkpoints)} checkpoints, "
-        f"built in {time.perf_counter() - t0:.1f}s "
+        f"index: {len(idx.checkpoints)} checkpoints over "
+        f"{idx.members} member(s), built in {time.perf_counter() - t0:.1f}s "
         "(sealed + checksummed, written atomically)",
         file=sys.stderr,
     )
+    return 0
+
+
+def _cmd_cat(args) -> int:
+    from repro.index.seekable import SeekableGzipReader
+
+    reader = SeekableGzipReader(
+        _source_arg(args.input),
+        index_path=args.index,
+        span=args.span,
+        backend=args.backend,
+        n_chunks=args.threads,
+        executor=args.executor,
+    )
+    if args.range:
+        start_s, sep, end_s = args.range.partition(":")
+        start = int(start_s) if start_s else 0
+        if sep and end_s:
+            end = int(end_s)
+            if end < start:
+                raise SystemExit(f"--range end {end} precedes start {start}")
+            out = reader.pread(start, end - start)
+        else:
+            reader.seek(start)
+            out = reader.read()
+    else:
+        out = reader.read()
+    _write(args.output or "-", out)
+    if args.stats:
+        s = reader.stats
+        print(
+            f"cat: backend={s.backend} inflate_calls={s.inflate_calls} "
+            f"decoded={s.decoded_bytes} compressed_read={s.compressed_bytes_read} "
+            f"index_builds={s.index_builds} index_loaded={s.index_loaded}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -457,17 +523,59 @@ def build_parser() -> argparse.ArgumentParser:
     rec.set_defaults(func=_cmd_recover)
 
     x = sub.add_parser("index", help="build or use a checkpoint index (ref [11])")
-    x.add_argument("input")
-    x.add_argument("index_file", help="index sidecar path")
-    x.add_argument("--span", type=int, default=1 << 20, help="bytes between checkpoints")
-    x.add_argument("--extract", type=int, default=None,
-                   help="uncompressed offset to extract (uses an existing index)")
-    x.add_argument("--size", type=int, default=1024)
-    x.add_argument("--auto-rebuild", action="store_true",
-                   help="extract: if the index file is missing or fails its "
-                        "integrity check, rebuild it in place (atomic rename)")
-    x.add_argument("-o", "--output")
-    x.set_defaults(func=_cmd_index)
+    xsub = x.add_subparsers(dest="mode", required=True)
+    xb = xsub.add_parser("build", help="build and export an index sidecar")
+    xb.add_argument("input")
+    xb.add_argument("index_file", help="index sidecar path")
+    xb.add_argument("--span", type=int, default=1 << 20,
+                    help="bytes between checkpoints (sequential builder)")
+    xb.add_argument("--builder", choices=("sequential", "pugz"),
+                    default="sequential",
+                    help="sequential: exact --span spacing; pugz: checkpoints "
+                         "from the parallel first pass (denser with -t)")
+    xb.add_argument("-t", "--threads", type=int, default=8,
+                    help="pugz builder: number of chunks")
+    xb.add_argument("-e", "--executor", choices=("serial", "thread", "process"),
+                    default="serial", help="pugz builder: executor backend")
+    xb.set_defaults(func=_cmd_index)
+    xi = xsub.add_parser("info", help="describe an exported index sidecar")
+    xi.add_argument("index_file")
+    xi.set_defaults(func=_cmd_index)
+    xe = xsub.add_parser("extract", help="ranged read through an index")
+    xe.add_argument("input")
+    xe.add_argument("index_file", help="index sidecar path")
+    xe.add_argument("--extract", "--offset", type=int, required=True,
+                    dest="extract", help="uncompressed offset to extract")
+    xe.add_argument("--size", type=int, default=1024)
+    xe.add_argument("--span", type=int, default=1 << 20,
+                    help="checkpoint spacing if --auto-rebuild rebuilds")
+    xe.add_argument("--auto-rebuild", action="store_true",
+                    help="if the index file is missing or fails its "
+                         "integrity check, rebuild it in place (atomic rename)")
+    xe.add_argument("-o", "--output")
+    xe.set_defaults(func=_cmd_index)
+
+    ct = sub.add_parser(
+        "cat", help="seekable ranged read (auto backend: bgzf / zran / pugz cold start)"
+    )
+    ct.add_argument("input")
+    ct.add_argument("--range", default=None, metavar="START:END",
+                    help="uncompressed byte range (END exclusive; omit END "
+                         "to read to EOF)")
+    ct.add_argument("--index", default=None,
+                    help="zran index sidecar: loaded when intact, written "
+                         "after a cold start")
+    ct.add_argument("--backend", choices=("bgzf", "zran"), default=None,
+                    help="force a backend instead of sniffing the stream")
+    ct.add_argument("--span", type=int, default=1 << 20)
+    ct.add_argument("-t", "--threads", type=int, default=8,
+                    help="cold start: number of pugz chunks")
+    ct.add_argument("-e", "--executor", choices=("serial", "thread", "process"),
+                    default="serial")
+    ct.add_argument("--stats", action="store_true",
+                    help="print seek-cost counters to stderr")
+    ct.add_argument("-o", "--output")
+    ct.set_defaults(func=_cmd_cat)
 
     f = sub.add_parser("fuzz", help="seeded fault-injection campaign")
     f.add_argument("--seeds", type=int, default=9, help="seeds per (corpus, injector) cell")
@@ -528,6 +636,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if (
+        len(argv) >= 2
+        and argv[0] == "index"
+        and argv[1] not in ("build", "info", "extract")
+        and not argv[1].startswith("-")
+    ):
+        # Legacy form: `index INPUT IDX [--extract N ...]` predates the
+        # build/info/extract modes — route it to the matching mode.
+        argv.insert(1, "extract" if "--extract" in argv else "build")
     args = build_parser().parse_args(argv)
     return args.func(args)
 

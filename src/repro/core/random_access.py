@@ -193,6 +193,32 @@ def _random_access_streaming(
     return report
 
 
+def _member_bounds_from_index(index, byte_offset: int, file_size: int):
+    """Payload bounds of the member containing compressed ``byte_offset``.
+
+    Uses the index's ``"member"`` checkpoints (their bit offsets are
+    the members' payload starts).  The member's payload certainly ends
+    before the *next* member's gzip header, i.e. at least 8 trailer
+    bytes plus a 10-byte minimum header before the next payload start.
+    """
+    members = [cp for cp in index.checkpoints if cp.kind == "member"]
+    if not members:
+        return None
+    chosen = members[0]
+    nxt = None
+    for i, cp in enumerate(members):
+        if cp.byte_offset <= byte_offset:
+            chosen = cp
+            nxt = members[i + 1] if i + 1 < len(members) else None
+        else:
+            break
+    if nxt is not None:
+        end_bit = 8 * (nxt.byte_offset - 18)
+    else:
+        end_bit = 8 * (file_size - 8)
+    return chosen.byte_offset, end_bit
+
+
 def random_access_sequences(
     gz_data: bytes,
     byte_offset: int,
@@ -202,15 +228,26 @@ def random_access_sequences(
     max_output: int | None = None,
     confirm_blocks: int = 5,
     streaming: bool = False,
+    index=None,
 ) -> RandomAccessReport:
     """Random access into a gzip file at a compressed byte offset.
 
-    ``byte_offset`` is relative to the start of the file; it is clamped
-    into the first member's DEFLATE payload (the paper's dataset is
-    single-member files).
+    ``byte_offset`` is relative to the start of the file.  Without an
+    ``index`` it is clamped into the *first* member's DEFLATE payload
+    (the paper's dataset is single-member files).  With an ``index`` (a
+    :class:`~repro.index.zran.GzipIndex` whose member checkpoints
+    locate every member), the offset is resolved into whichever member
+    contains it, so multi-member files are addressable throughout.
     """
-    payload_start, *_ = parse_gzip_header(gz_data, 0)
-    payload_end_bit = 8 * (len(gz_data) - 8)
+    if index is not None:
+        bounds = _member_bounds_from_index(index, byte_offset, len(gz_data))
+    else:
+        bounds = None
+    if bounds is not None:
+        payload_start, payload_end_bit = bounds
+    else:
+        payload_start, *_ = parse_gzip_header(gz_data, 0)
+        payload_end_bit = 8 * (len(gz_data) - 8)
     offset = max(byte_offset, payload_start)
     if 8 * offset >= payload_end_bit:
         raise RandomAccessError(

@@ -1,5 +1,12 @@
-"""Streaming file-like interfaces over the parallel decompressor."""
+"""Streaming and random-access file interfaces over the decompressor."""
 
-from repro.io.streams import PugzStream, iter_fastq_records, open_pugz
+from repro.io.source import ByteSource
+from repro.io.streams import PugzStream, iter_fastq_records, open_pugz, open_seekable
 
-__all__ = ["PugzStream", "open_pugz", "iter_fastq_records"]
+__all__ = [
+    "ByteSource",
+    "PugzStream",
+    "open_pugz",
+    "open_seekable",
+    "iter_fastq_records",
+]

@@ -11,11 +11,11 @@ from __future__ import annotations
 import io
 from collections.abc import Iterator
 
-from repro.core.windowed import WindowedReport, iter_pugz
 from repro.data.fastq import FastqRecord
 from repro.errors import ReproError
+from repro.io.source import ByteSource
 
-__all__ = ["PugzStream", "open_pugz", "iter_fastq_records"]
+__all__ = ["PugzStream", "open_pugz", "open_seekable", "iter_fastq_records", "ByteSource"]
 
 
 class PugzStream(io.RawIOBase):
@@ -29,6 +29,11 @@ class PugzStream(io.RawIOBase):
         executor: str = "serial",
     ) -> None:
         super().__init__()
+        # Late import: repro.core reaches back into repro.index (whose
+        # modules use ByteSource from this package), so the decompressor
+        # is bound at construction time, not import time.
+        from repro.core.windowed import WindowedReport, iter_pugz
+
         self.report = WindowedReport()
         self._source = iter_pugz(
             gz_data,
@@ -107,8 +112,25 @@ def open_pugz(path, n_chunks: int = 16, stripe_chunks: int = 4,
                       executor=executor)
 
 
-def iter_fastq_records(stream: PugzStream) -> Iterator[FastqRecord]:
-    """Iterate FASTQ records from a :class:`PugzStream` (validated)."""
+def open_seekable(source, **kwargs):
+    """Open a gzip/BGZF source for random access.
+
+    Convenience front door for
+    :class:`repro.index.seekable.SeekableGzipReader`: accepts a path,
+    bytes, or binary file object plus that class's keyword arguments
+    (``index_path``, ``span``, ``backend``, ...) and returns the
+    reader.  Unlike :func:`open_pugz`, reads go through ranged file
+    I/O — the compressed file is never materialised for warm seeks.
+    """
+    from repro.index.seekable import SeekableGzipReader
+
+    return SeekableGzipReader(source, **kwargs)
+
+
+def iter_fastq_records(stream) -> Iterator[FastqRecord]:
+    """Iterate FASTQ records from a readline-capable binary stream
+    (a :class:`PugzStream`, a :class:`SeekableGzipReader`, any
+    buffered binary file)."""
     while True:
         header = stream.readline()
         if not header:

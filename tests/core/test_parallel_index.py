@@ -44,13 +44,19 @@ class TestPugzBuildIndex:
         _, dense = pugz_build_index(gz, n_chunks=8)
         assert len(dense.checkpoints) >= len(sparse.checkpoints)
 
-    def test_multi_member_rejected(self, fastq_small):
+    def test_multi_member(self, fastq_small):
         import gzip as stdlib_gzip
 
-        from repro.errors import ReproError
+        from repro.index.zran import CHECKPOINT_MEMBER
 
         gz = stdlib_gzip.compress(fastq_small[:1000]) + stdlib_gzip.compress(
             fastq_small[1000:]
         )
-        with pytest.raises(ReproError, match="single-member"):
-            pugz_build_index(gz, n_chunks=2)
+        out, idx = pugz_build_index(gz, n_chunks=2)
+        assert out == fastq_small
+        assert idx.usize == len(fastq_small)
+        members = [cp for cp in idx.checkpoints if cp.kind == CHECKPOINT_MEMBER]
+        assert len(members) == 2
+        assert members[1].uoffset == 1000
+        # A read spanning the member seam must stitch correctly.
+        assert idx.read_at(gz, 900, 200) == fastq_small[900:1100]

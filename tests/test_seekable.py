@@ -1,0 +1,290 @@
+"""SeekableGzipReader: one index layer over zran / BGZF / pugz.
+
+Covers the seek edge cases the facade must get right (offset 0, EOF,
+``usize - 1``, checkpoint boundaries ±1 byte, empty members inside
+multi-member files), the warm-seek cost guarantee (a seek decodes at
+most ``span`` bytes, asserted by instrumenting the inflate call), the
+sidecar cold/warm lifecycle, and a zran-vs-bgzf-vs-full-decode
+differential over the 50-stream fuzz corpus.
+"""
+
+import gzip as stdlib_gzip
+import io
+import zlib
+
+import pytest
+
+import repro.index.zran as zran_mod
+from repro.bgzf.format import bgzf_compress
+from repro.deflate.gzipfmt import gzip_wrap
+from repro.errors import GzipFormatError, RandomAccessError
+from repro.index import GzipIndex, build_index
+from repro.index.seekable import SeekableGzipReader, detect_backend
+from repro.io.source import ByteSource
+from tests.deflate.test_differential_fuzz import SEEDS, SHAPES, compress_shape, make_text
+
+SPAN = 65536
+
+
+def _corpus(n: int = 600_000) -> bytes:
+    return make_text(3, n)  # FASTQ-like shape
+
+
+@pytest.fixture(scope="module")
+def text():
+    return _corpus()
+
+
+@pytest.fixture(scope="module")
+def gz(text):
+    return stdlib_gzip.compress(text, 6)
+
+
+@pytest.fixture(scope="module")
+def indexed(text, gz):
+    return build_index(gz, span=SPAN)
+
+
+class TestBackendDetection:
+    def test_plain_gzip(self, gz):
+        assert detect_backend(gz) == "zran"
+
+    def test_bgzf(self, text):
+        assert detect_backend(bgzf_compress(text)) == "bgzf"
+
+    def test_not_gzip(self):
+        with pytest.raises(GzipFormatError):
+            detect_backend(b"PK\x03\x04 definitely a zip")
+
+
+class TestSeekEdges:
+    @pytest.fixture(scope="class")
+    def reader(self, text, gz):
+        idx = build_index(gz, span=SPAN)
+        return SeekableGzipReader(gz, index=idx)
+
+    def test_seek_zero(self, reader, text):
+        reader.seek(0)
+        assert reader.read(100) == text[:100]
+
+    def test_seek_eof(self, reader, text):
+        reader.seek(0, io.SEEK_END)
+        assert reader.tell() == len(text)
+        assert reader.read(100) == b""
+
+    def test_seek_last_byte(self, reader, text):
+        reader.seek(len(text) - 1)
+        assert reader.read(100) == text[-1:]
+
+    def test_read_straddles_eof(self, reader, text):
+        assert reader.pread(len(text) - 10, 1000) == text[-10:]
+
+    def test_seek_past_eof_reads_empty(self, reader, text):
+        assert reader.pread(len(text) + 1000, 10) == b""
+
+    def test_negative_offset_rejected(self, reader):
+        with pytest.raises(RandomAccessError):
+            reader.pread(-1, 10)
+        with pytest.raises(RandomAccessError):
+            reader.seek(-5)
+
+    def test_checkpoint_boundaries_plus_minus_one(self, reader, text):
+        cps = reader.index.checkpoints
+        assert len(cps) >= 3, "corpus too small to exercise checkpoints"
+        for cp in cps:
+            for off in (cp.uoffset - 1, cp.uoffset, cp.uoffset + 1):
+                if not 0 <= off < len(text):
+                    continue
+                assert reader.pread(off, 64) == text[off : off + 64], off
+
+    def test_relative_and_end_whence(self, reader, text):
+        reader.seek(1000)
+        reader.seek(500, io.SEEK_CUR)
+        assert reader.read(10) == text[1500:1510]
+        reader.seek(-100, io.SEEK_END)
+        assert reader.read() == text[-100:]
+
+
+class TestMultiMember:
+    @pytest.fixture(scope="class")
+    def multi(self, text):
+        # An empty member in the middle — uoffset must stay continuous
+        # and reads must never decode across a seam with a stale window.
+        blob = (
+            stdlib_gzip.compress(text[:200_000], 6)
+            + stdlib_gzip.compress(b"", 6)
+            + stdlib_gzip.compress(text[200_000:], 6)
+        )
+        return blob
+
+    def test_empty_member_mid_file(self, multi, text):
+        idx = build_index(multi, span=SPAN)
+        assert idx.usize == len(text)
+        assert idx.members == 3
+        reader = SeekableGzipReader(multi, index=idx)
+        # Reads around the seam (and the empty member at it).
+        for off in (199_000, 199_999, 200_000, 200_001):
+            assert reader.pread(off, 2048) == text[off : off + 2048], off
+
+    def test_read_spanning_seam(self, multi, text):
+        idx = build_index(multi, span=SPAN)
+        got = idx.read_at(multi, 195_000, 10_000)
+        assert got == text[195_000:205_000]
+
+    def test_full_read_matches(self, multi, text):
+        reader = SeekableGzipReader(multi, cold_start="sequential", span=SPAN)
+        assert reader.read() == text
+
+
+def _sync_flush_gzip(text: bytes, block: int = 8192) -> bytes:
+    """Gzip whose DEFLATE blocks each cover <= ``block`` output bytes."""
+    co = zlib.compressobj(6, zlib.DEFLATED, -15)
+    parts = []
+    for i in range(0, len(text), block):
+        parts.append(co.compress(text[i : i + block]))
+        parts.append(co.flush(zlib.Z_SYNC_FLUSH))
+    parts.append(co.flush(zlib.Z_FINISH))
+    return gzip_wrap(b"".join(parts), text)
+
+
+class TestSpanGuarantee:
+    def test_warm_seek_decodes_at_most_span(self, text, monkeypatch):
+        """The O(1)-seek contract: after the index exists, a warm seek
+        asks inflate for at most ``span`` output bytes (plus the bytes
+        actually requested) and the decode overshoots the request only
+        by block granularity.  Blocks are kept under 8 KiB so no single
+        block exceeds the span — the one case where the floor is the
+        block, not the span."""
+        block = 8192
+        span = 32768
+        gz = _sync_flush_gzip(text, block)
+        idx = build_index(gz, span=span)
+        gaps_ok = all(
+            b - a <= span
+            for a, b in zip(
+                [cp.uoffset for cp in idx.checkpoints],
+                [cp.uoffset for cp in idx.checkpoints][1:] + [idx.usize],
+            )
+        )
+        assert gaps_ok, "builder left a checkpoint gap wider than span"
+
+        calls = []
+        real_inflate = zran_mod.inflate
+
+        def spy(data, **kwargs):
+            result = real_inflate(data, **kwargs)
+            calls.append((kwargs.get("max_output"), len(result.data)))
+            return result
+
+        monkeypatch.setattr(zran_mod, "inflate", spy)
+        reader = SeekableGzipReader(gz, index=idx)
+        step = len(text) // 23
+        for off in range(0, len(text), step):
+            assert reader.pread(off, 1) == text[off : off + 1]
+        assert calls, "no inflate calls observed"
+        for max_output, decoded in calls:
+            assert max_output is not None and max_output <= span + 1
+            assert decoded <= span + 1 + block
+
+    def test_stats_track_decode_cost(self, gz, indexed, text):
+        reader = SeekableGzipReader(gz, index=indexed)
+        reader.pread(len(text) // 2, 100)
+        assert reader.stats.inflate_calls == 1
+        assert 0 < reader.stats.decoded_bytes <= SPAN + 300_000
+        # Ranged I/O: far less compressed data than the whole file.
+        assert 0 < reader.stats.compressed_bytes_read < len(gz)
+
+
+class TestSidecarLifecycle:
+    def test_cold_then_warm(self, tmp_path, text, gz):
+        sidecar = str(tmp_path / "reads.idx")
+        cold = SeekableGzipReader(gz, index_path=sidecar, n_chunks=4)
+        mid = len(text) // 2
+        assert cold.pread(mid, 256) == text[mid : mid + 256]
+        assert cold.stats.index_builds == 1
+        assert not cold.stats.index_loaded
+
+        warm = SeekableGzipReader(gz, index_path=sidecar)
+        assert warm.stats.index_loaded
+        assert warm.pread(mid, 256) == text[mid : mid + 256]
+        assert warm.stats.index_builds == 0
+
+    def test_damaged_sidecar_triggers_rebuild(self, tmp_path, text, gz):
+        sidecar = tmp_path / "reads.idx"
+        SeekableGzipReader(gz, index_path=str(sidecar), n_chunks=4).usize
+        blob = bytearray(sidecar.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        sidecar.write_bytes(bytes(blob))
+        reader = SeekableGzipReader(gz, index_path=str(sidecar), n_chunks=4)
+        assert not reader.stats.index_loaded
+        assert reader.pread(1000, 50) == text[1000:1050]
+        assert reader.stats.index_builds == 1
+        # The replacement sidecar is intact again.
+        assert SeekableGzipReader(gz, index_path=str(sidecar)).stats.index_loaded
+
+    def test_pugz_cold_start_second_touch_is_checkpoint_driven(self, text, gz):
+        reader = SeekableGzipReader(gz, n_chunks=4)
+        mid = len(text) // 2
+        assert reader.pread(mid, 128) == text[mid : mid + 128]
+        assert reader.stats.index_builds == 1
+        reader.stats.reset_counters()
+        assert reader.pread(100, 64) == text[100:164]
+        assert reader.stats.index_builds == 1  # no second build
+        assert reader.stats.decoded_bytes <= reader.index.span + 300_000
+
+
+class TestSources:
+    def test_path_file_bytes_identical(self, tmp_path, text, gz, indexed):
+        path = tmp_path / "reads.gz"
+        path.write_bytes(gz)
+        off = len(text) // 3
+        expect = text[off : off + 512]
+        assert SeekableGzipReader(gz, index=indexed).pread(off, 512) == expect
+        assert SeekableGzipReader(str(path), index=indexed).pread(off, 512) == expect
+        with open(path, "rb") as fh:
+            assert SeekableGzipReader(fh, index=indexed).pread(off, 512) == expect
+
+    def test_borrowed_file_left_open(self, tmp_path, gz):
+        path = tmp_path / "reads.gz"
+        path.write_bytes(gz)
+        with open(path, "rb") as fh:
+            src = ByteSource(fh)
+            src.pread(0, 2)
+            src.close()
+            assert not fh.closed
+            fh.seek(0)
+            assert fh.read(2) == gz[:2]
+
+    def test_bgzf_from_path(self, tmp_path, text):
+        path = tmp_path / "reads.bgzf"
+        path.write_bytes(bgzf_compress(text))
+        reader = SeekableGzipReader(str(path))
+        assert reader.backend == "bgzf"
+        off = len(text) // 2
+        assert reader.pread(off, 512) == text[off : off + 512]
+
+
+class TestDifferentialCorpus:
+    """zran vs bgzf vs full decode over the 50-stream fuzz corpus."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_all_backends_agree(self, seed, shape):
+        body = make_text(seed, n=24_000)
+        payload = compress_shape(body, shape)
+        gz_blob = gzip_wrap(payload, body)
+        bg_blob = bgzf_compress(body)
+
+        zr = SeekableGzipReader(gz_blob, cold_start="sequential", span=8192)
+        bg = SeekableGzipReader(bg_blob)
+        assert zr.backend == "zran" and bg.backend == "bgzf"
+        full = zlib.decompress(payload, -15)
+        assert full == body
+        probes = [0, 1, len(body) // 2, len(body) - 257, len(body) - 1]
+        for off in probes:
+            expect = body[off : off + 256]
+            assert zr.pread(off, 256) == expect, (seed, shape, off)
+            assert bg.pread(off, 256) == expect, (seed, shape, off)
+        assert zr.read() == body
+        bg.seek(0)
+        assert bg.read() == body
